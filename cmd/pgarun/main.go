@@ -1,0 +1,189 @@
+// Command pgarun runs one parallel-GA configuration on one benchmark
+// problem and prints progress and the final result — the library's
+// command-line front door.
+//
+// Usage examples:
+//
+//	pgarun -problem onemax -size 128 -model islands -demes 8
+//	pgarun -problem rastrigin -size 10 -model sequential -gens 500
+//	pgarun -problem trap -size 48 -model cellular -rows 10 -cols 10
+//	pgarun -problem onemax -size 64 -model masterslave -workers 8
+//	pgarun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pga/internal/cellular"
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/genome"
+	"pga/internal/island"
+	"pga/internal/masterslave"
+	"pga/internal/migration"
+	"pga/internal/operators"
+	"pga/internal/p2p"
+	"pga/internal/problems"
+	"pga/internal/rng"
+	"pga/internal/topology"
+)
+
+func main() {
+	problem := flag.String("problem", "onemax", "problem key (see -list)")
+	size := flag.Int("size", 64, "problem size (bits / dimensions / items)")
+	model := flag.String("model", "islands", "sequential | steadystate | islands | cellular | masterslave | p2p")
+	demes := flag.Int("demes", 8, "islands: deme count")
+	pop := flag.Int("pop", 50, "population size (per deme for islands)")
+	gens := flag.Int("gens", 300, "maximum generations")
+	interval := flag.Int("interval", 10, "islands: migration interval")
+	migrants := flag.Int("migrants", 2, "islands: migrants per exchange")
+	topo := flag.String("topology", "ring", "islands: ring | biring | star | complete | hypercube | isolated")
+	async := flag.Bool("async", false, "islands: asynchronous migration (goroutine mode)")
+	rows := flag.Int("rows", 10, "cellular: grid rows")
+	cols := flag.Int("cols", 10, "cellular: grid cols")
+	workers := flag.Int("workers", 4, "masterslave: worker count")
+	peers := flag.Int("peers", 16, "p2p: peer count")
+	churn := flag.Float64("churn", 0, "p2p: per-generation leave probability")
+	seed := flag.Uint64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list problem keys and exit")
+	quiet := flag.Bool("quiet", false, "suppress per-generation progress")
+	flag.Parse()
+
+	if *list {
+		for _, k := range problems.Keys() {
+			spec, _ := problems.Lookup(k)
+			fmt.Printf("%-12s class=%s\n", k, spec.Class)
+		}
+		return
+	}
+
+	spec, err := problems.Lookup(*problem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgarun:", err)
+		os.Exit(2)
+	}
+	prob := spec.Make(*size, *seed)
+
+	stop := core.StopCondition(core.MaxGenerations(*gens))
+	if ta, ok := prob.(core.TargetAware); ok {
+		stop = core.AnyOf{
+			core.MaxGenerations(*gens),
+			core.TargetFitness{Target: ta.Optimum(), Dir: prob.Direction()},
+		}
+	}
+
+	xover, mut := operatorsFor(prob)
+	gaCfg := func(r *rng.Source) ga.Config {
+		return ga.Config{
+			Problem: prob, PopSize: *pop,
+			Crossover: xover, Mutator: mut, RNG: r,
+		}
+	}
+	onStep := func(s core.Status) {
+		if !*quiet && s.Generation%25 == 0 {
+			fmt.Printf("gen %4d  best %.6g  evals %d\n", s.Generation, s.BestFitness, s.Evaluations)
+		}
+	}
+
+	switch *model {
+	case "sequential", "steadystate":
+		var e ga.Engine
+		if *model == "sequential" {
+			e = ga.NewGenerational(gaCfg(rng.New(*seed)))
+		} else {
+			e = ga.NewSteadyState(gaCfg(rng.New(*seed)), true)
+		}
+		res := ga.Run(e, ga.RunOptions{Stop: stop, OnStep: onStep})
+		fmt.Println(res)
+	case "masterslave":
+		farm := masterslave.NewFarm(*seed, masterslave.Uniform(*workers))
+		cfg := gaCfg(rng.New(*seed))
+		cfg.Evaluator = farm
+		res := ga.Run(ga.NewGenerational(cfg), ga.RunOptions{Stop: stop, OnStep: onStep})
+		fmt.Println(res)
+		st := farm.Stats()
+		fmt.Printf("farm: %d workers, %d evaluations, %d redispatched\n", *workers, st.Evaluations, st.Redispatched)
+	case "cellular":
+		cfg := cellular.Config{
+			Problem: prob, Rows: *rows, Cols: *cols,
+			Crossover: xover, Mutator: mut,
+			Update: cellular.NewRandomSweep, RNG: rng.New(*seed),
+		}
+		res := ga.Run(cellular.New(cfg), ga.RunOptions{Stop: stop, OnStep: onStep})
+		fmt.Println(res)
+	case "islands":
+		m := island.New(island.Config{
+			Topology: makeTopology(*topo, *demes),
+			Policy:   migration.Policy{Interval: *interval, Count: *migrants, Sync: !*async},
+			NewEngine: func(d int, r *rng.Source) ga.Engine {
+				return ga.NewGenerational(gaCfg(r))
+			},
+			Seed: *seed,
+		})
+		var res *island.Result
+		if *async {
+			res = m.RunParallel(*gens, false)
+		} else {
+			res = m.RunSequential(stop, false)
+		}
+		fmt.Printf("%s: best=%g gens=%d evals=%d solved=%v migrations=%d (%v)\n",
+			prob.Name(), res.BestFitness, res.Generations, res.Evaluations,
+			res.Solved, res.Migrations, res.Elapsed)
+		fmt.Printf("per-deme best: %v\n", res.PerDemeBest)
+	case "p2p":
+		n := p2p.New(p2p.Config{
+			Problem: prob,
+			Peers:   *peers,
+			NewEngine: func(peer int, r *rng.Source) ga.Engine {
+				return ga.NewGenerational(gaCfg(r))
+			},
+			ChurnRate: *churn,
+			Seed:      *seed,
+		})
+		res := n.Run(*gens)
+		fmt.Printf("%s: best=%g solved=%v evals=%d peers-alive=%d departures=%d joins=%d messages=%d (%v)\n",
+			prob.Name(), res.BestFitness, res.Solved, res.Evaluations,
+			res.AliveAtEnd, res.Departures, res.Joins, res.Messages, res.Elapsed)
+	default:
+		fmt.Fprintf(os.Stderr, "pgarun: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+}
+
+// operatorsFor picks canonical operators for the problem's genome type.
+func operatorsFor(p core.Problem) (operators.Crossover, operators.Mutator) {
+	g := p.NewGenome(rng.New(0))
+	switch g.(type) {
+	case *genome.RealVector:
+		return operators.SBX{}, operators.Polynomial{}
+	case *genome.Permutation:
+		return operators.OX{}, operators.Inversion{}
+	case *genome.IntVector:
+		return operators.Uniform{}, operators.UniformReset{}
+	default:
+		return operators.Uniform{}, operators.BitFlip{}
+	}
+}
+
+func makeTopology(name string, n int) topology.Topology {
+	switch name {
+	case "biring":
+		return topology.BiRing(n)
+	case "star":
+		return topology.Star(n)
+	case "complete":
+		return topology.Complete(n)
+	case "hypercube":
+		d := 0
+		for 1<<uint(d) < n {
+			d++
+		}
+		return topology.Hypercube(d)
+	case "isolated":
+		return topology.Isolated(n)
+	default:
+		return topology.Ring(n)
+	}
+}

@@ -1,0 +1,68 @@
+// Fault-tolerant master–slave evaluation: runs the same GA on a healthy
+// worker farm and on a farm where workers fail and die mid-run,
+// demonstrating Gagné et al.'s transparency/robustness/adaptivity — the
+// GA is oblivious, every run completes, and only redispatch overhead is
+// paid.
+package main
+
+import (
+	"fmt"
+
+	"pga"
+)
+
+func run(label string, specs []pga.WorkerSpec) {
+	prob := pga.OneMax(96)
+	farm := pga.NewFarm(11, specs)
+	e := pga.NewGenerational(pga.GAConfig{
+		Problem:   prob,
+		PopSize:   80,
+		Crossover: pga.UniformCrossover{},
+		Mutator:   pga.BitFlip{},
+		Evaluator: farm,
+		RNG:       pga.NewRNG(11),
+	})
+	res := pga.Run(e, pga.RunOptions{Stop: pga.AnyOf{pga.MaxGenerations(400), pga.Target(prob)}})
+	st := farm.Stats()
+	fmt.Printf("%-28s solved=%-5v evals=%-6d redispatched=%-5d dead-workers=%d/%d\n",
+		label, res.Solved, res.Evaluations, st.Redispatched, st.DeadWorkers, farm.Workers())
+	fmt.Printf("%-28s per-worker tasks: %v\n\n", "", st.TasksPerWorker)
+}
+
+func main() {
+	fmt.Println("master–slave farm under increasingly hostile conditions")
+	fmt.Println("(same GA, same seed — only the machine room changes)")
+	fmt.Println()
+
+	// Healthy homogeneous farm.
+	run("8 healthy workers", pga.UniformWorkers(8))
+
+	// Heterogeneous speeds: the fast workers take proportionally more
+	// tasks (adaptive load balancing).
+	het := pga.UniformWorkers(8)
+	for i := range het {
+		het[i].Speed = 0.5 + float64(i)*0.4
+	}
+	run("heterogeneous speeds", het)
+
+	// Flaky workers: 30% of attempts fail but nothing dies.
+	flaky := pga.UniformWorkers(8)
+	for i := 0; i < 4; i++ {
+		flaky[i].FailProb = 0.3
+	}
+	run("4 flaky workers (30%)", flaky)
+
+	// Hard failures: six workers die early; the survivors absorb the work.
+	dying := pga.UniformWorkers(8)
+	for i := 0; i < 6; i++ {
+		dying[i] = pga.WorkerSpec{Speed: 1, FailProb: 0.5, MaxFailures: 2}
+	}
+	run("6/8 workers die", dying)
+
+	// Total loss: every worker dies; the master finishes the job itself.
+	doomed := make([]pga.WorkerSpec, 4)
+	for i := range doomed {
+		doomed[i] = pga.WorkerSpec{Speed: 1, FailProb: 1, MaxFailures: 1}
+	}
+	run("all workers die", doomed)
+}

@@ -1,0 +1,3 @@
+module pga
+
+go 1.22

@@ -1,0 +1,131 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"pga/internal/core"
+	"pga/internal/genome"
+	"pga/internal/rng"
+)
+
+// ReactorCore is the Pereira & Lapa (2003) workload analogue: assign fuel
+// assemblies of different enrichment classes to core positions so the
+// power distribution is as flat as possible (minimise the peak factor)
+// while keeping the core critical (total reactivity within a band).
+//
+// The simplified physics: each position has a geometric importance
+// (centre > edge); local power = enrichment × importance, smoothed over
+// neighbouring positions; peak factor = max(power)/mean(power);
+// reactivity = Σ enrichment − target, penalised outside ±tolerance.
+type ReactorCore struct {
+	side        int // core is side×side
+	importance  []float64
+	enrichments []float64 // enrichment value per class
+	target      float64   // target total enrichment (criticality)
+	tol         float64
+}
+
+// NewReactorCore creates a side×side core with the given enrichment
+// classes.
+func NewReactorCore(side int, classes int, seed uint64) *ReactorCore {
+	r := rng.New(seed)
+	rc := &ReactorCore{side: side}
+	c := float64(side-1) / 2
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			// Cosine-bell importance, peaked at the core centre.
+			dx := (float64(x) - c) / (c + 1)
+			dy := (float64(y) - c) / (c + 1)
+			rc.importance = append(rc.importance, math.Cos(dx*math.Pi/2)*math.Cos(dy*math.Pi/2)+0.05)
+		}
+	}
+	for k := 0; k < classes; k++ {
+		rc.enrichments = append(rc.enrichments, 1.5+0.7*float64(k)+0.1*r.Float64())
+	}
+	// Target: mid-class everywhere.
+	mid := rc.enrichments[classes/2]
+	rc.target = mid * float64(side*side)
+	rc.tol = rc.target * 0.05
+	return rc
+}
+
+// Name implements core.Problem.
+func (rc *ReactorCore) Name() string {
+	return fmt.Sprintf("reactor(%dx%d,%d)", rc.side, rc.side, len(rc.enrichments))
+}
+
+// Direction implements core.Problem.
+func (*ReactorCore) Direction() core.Direction { return core.Minimize }
+
+// NewGenome implements core.Problem: one enrichment class per position.
+func (rc *ReactorCore) NewGenome(r *rng.Source) core.Genome {
+	return genome.RandomIntVector(rc.side*rc.side, len(rc.enrichments), r)
+}
+
+// PeakFactor returns max(power)/mean(power) of the loading.
+func (rc *ReactorCore) PeakFactor(v *genome.IntVector) float64 {
+	n := rc.side * rc.side
+	raw := make([]float64, n)
+	for i, cls := range v.Genes {
+		raw[i] = rc.enrichments[cls] * rc.importance[i]
+	}
+	// 4-neighbour smoothing models neutron coupling between assemblies.
+	power := make([]float64, n)
+	for y := 0; y < rc.side; y++ {
+		for x := 0; x < rc.side; x++ {
+			i := y*rc.side + x
+			sum, cnt := raw[i]*2, 2.0
+			if x > 0 {
+				sum += raw[i-1]
+				cnt++
+			}
+			if x < rc.side-1 {
+				sum += raw[i+1]
+				cnt++
+			}
+			if y > 0 {
+				sum += raw[i-rc.side]
+				cnt++
+			}
+			if y < rc.side-1 {
+				sum += raw[i+rc.side]
+				cnt++
+			}
+			power[i] = sum / cnt
+		}
+	}
+	mean, max := 0.0, 0.0
+	for _, p := range power {
+		mean += p
+		if p > max {
+			max = p
+		}
+	}
+	mean /= float64(n)
+	if mean == 0 {
+		return math.Inf(1)
+	}
+	return max / mean
+}
+
+// ReactivityExcess returns how far the total enrichment is outside the
+// criticality band (0 when within the band).
+func (rc *ReactorCore) ReactivityExcess(v *genome.IntVector) float64 {
+	total := 0.0
+	for _, cls := range v.Genes {
+		total += rc.enrichments[cls]
+	}
+	d := math.Abs(total - rc.target)
+	if d <= rc.tol {
+		return 0
+	}
+	return d - rc.tol
+}
+
+// Evaluate implements core.Problem: peak factor plus a graded criticality
+// penalty.
+func (rc *ReactorCore) Evaluate(g core.Genome) float64 {
+	v := g.(*genome.IntVector)
+	return rc.PeakFactor(v) + 0.1*rc.ReactivityExcess(v)
+}

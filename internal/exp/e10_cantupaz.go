@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"io"
+
+	"pga/internal/problems"
+	"pga/internal/topology"
+)
+
+// E10 — Cantú-Paz (2000), the survey's central theory reference: isolated
+// demes are impractical, migration improves quality and efficiency, fully
+// connected topologies converge fastest, and accurate deme sizing matters
+// (an intermediate deme count beats both one big panmictic population and
+// many tiny demes at fixed total population). The reproduction sweeps
+// connectivity and the deme-count/deme-size tradeoff on a deceptive
+// landscape.
+func init() {
+	register(Experiment{
+		ID:     "E10",
+		Title:  "Cantú-Paz design rules: connectivity and deme sizing at fixed total population",
+		Source: "Cantú-Paz 2000 (survey §2): rational design of fast and accurate PGAs",
+		Run:    runE10,
+	})
+}
+
+func runE10(w io.Writer, quick bool) {
+	runs := scale(quick, 20, 4)
+	maxGens := scale(quick, 500, 60)
+	blocks := scale(quick, 10, 8)
+	prob := problems.DeceptiveTrap{Blocks: blocks, K: 4}
+	totalPop := scale(quick, 160, 64)
+
+	fprintf(w, "part A — connectivity at 8 demes × %d (%s, %d runs/row)\n\n", totalPop/8, prob.Name(), runs)
+	fprintf(w, "%-12s %-9s %-14s %-12s\n", "topology", "hit-rate", "med-evals", "mean-best")
+	tops := []struct {
+		name string
+		mk   func(n int) topology.Topology
+		pol  int
+	}{
+		{"isolated", topology.Isolated, 0},
+		{"ring", topology.Ring, 10},
+		{"bi-ring", topology.BiRing, 10},
+		{"complete", topology.Complete, 10},
+	}
+	for _, tp := range tops {
+		hit, final := runIslandSetup(islandSetup{
+			problem: prob,
+			topo:    tp.mk,
+			demes:   8,
+			popSize: totalPop / 8,
+			policy:  migrationEvery(tp.pol, 2),
+			maxGens: maxGens,
+			runs:    runs,
+		})
+		med := 0.0
+		if hit.Hits() > 0 {
+			med = hit.Effort().Median
+		}
+		fprintf(w, "%-12s %-9s %-14.0f %-12.2f\n", tp.name, rate(hit), med, final.Mean)
+	}
+
+	fprintf(w, "\npart B — deme-count/deme-size tradeoff at total population %d (bi-ring, interval 10)\n\n", totalPop)
+	fprintf(w, "%-14s %-9s %-14s %-12s\n", "demes×size", "hit-rate", "med-evals", "mean-best")
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		if totalPop/k < 4 {
+			continue
+		}
+		hit, final := runIslandSetup(islandSetup{
+			problem: prob,
+			topo:    topology.BiRing,
+			demes:   k,
+			popSize: totalPop / k,
+			policy:  migrationEvery(10, 2),
+			maxGens: maxGens,
+			runs:    runs,
+		})
+		med := 0.0
+		if hit.Hits() > 0 {
+			med = hit.Effort().Median
+		}
+		fprintf(w, "%2d × %-9d %-9s %-14.0f %-12.2f\n", k, totalPop/k, rate(hit), med, final.Mean)
+	}
+	fprintf(w, "\nshape check: isolated demes lose to any connected topology (impracticability of\n")
+	fprintf(w, "isolation), and denser connectivity cuts the evaluations successful runs need.\n")
+	fprintf(w, "In part B, splitting the fixed total population makes successful runs cheaper\n")
+	fprintf(w, "while the hit rate degrades once demes shrink below the building-block supply\n")
+	fprintf(w, "threshold — the quality/efficiency sizing tension Cantú-Paz formalised.\n")
+}

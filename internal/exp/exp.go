@@ -1,0 +1,156 @@
+// Package exp implements the experiment harness: one runner per
+// experiment in DESIGN.md's index (E1–E14 plus the A-series ablations),
+// each regenerating the table/curve shape of a claim reviewed by the
+// survey. cmd/pgabench drives the whole suite; bench_test.go exposes one
+// testing.B benchmark per experiment.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/island"
+	"pga/internal/migration"
+	"pga/internal/operators"
+	"pga/internal/problems"
+	"pga/internal/rng"
+	"pga/internal/stats"
+	"pga/internal/topology"
+)
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	// ID is the DESIGN.md identifier, e.g. "E2".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Source cites the surveyed claim being reproduced.
+	Source string
+	// Run executes the experiment and writes its table to w. quick
+	// selects reduced sizes (for benchmarks and smoke tests).
+	Run func(w io.Writer, quick bool)
+}
+
+// registry holds all experiments in presentation order.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- shared run helpers ----
+
+// demeEngine returns an engine factory for a binary problem with the
+// given per-deme population size.
+func demeEngine(p core.Problem, popSize int) func(int, *rng.Source) ga.Engine {
+	return func(deme int, r *rng.Source) ga.Engine {
+		return ga.NewGenerational(ga.Config{
+			Problem:   p,
+			PopSize:   popSize,
+			Selector:  operators.Tournament{K: 2},
+			Crossover: operators.TwoPoint{},
+			Mutator:   operators.BitFlip{},
+			RNG:       r,
+		})
+	}
+}
+
+// islandSetup bundles the knobs the island experiments sweep.
+type islandSetup struct {
+	problem  core.Problem
+	topo     func(n int) topology.Topology
+	demes    int
+	popSize  int // per deme
+	policy   migration.Policy
+	maxGens  int
+	runs     int
+	baseSeed uint64
+}
+
+// runIslandSetup executes the setup runs times (sequential deterministic
+// mode) and accumulates efficacy/effort plus the mean final best fitness.
+func runIslandSetup(s islandSetup) (*stats.HitRate, stats.Summary) {
+	var hit stats.HitRate
+	var finals []float64
+	for r := 0; r < s.runs; r++ {
+		m := island.New(island.Config{
+			Topology:  s.topo(s.demes),
+			Policy:    s.policy,
+			NewEngine: demeEngine(s.problem, s.popSize),
+			Seed:      s.baseSeed + uint64(r)*7919,
+		})
+		stop := core.StopCondition(core.MaxGenerations(s.maxGens))
+		if ta, ok := s.problem.(core.TargetAware); ok {
+			stop = core.AnyOf{
+				core.MaxGenerations(s.maxGens),
+				core.TargetFitness{Target: ta.Optimum(), Dir: s.problem.Direction()},
+			}
+		}
+		res := m.RunSequential(stop, false)
+		hit.Record(res.Solved, res.SolvedAtEval)
+		finals = append(finals, res.BestFitness)
+	}
+	return &hit, stats.Summarize(finals)
+}
+
+// fprintf is fmt.Fprintf with the error discarded (experiment output is
+// best-effort console text).
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}
+
+// header prints the experiment banner.
+func header(w io.Writer, e Experiment) {
+	fprintf(w, "\n=== %s: %s ===\n", e.ID, e.Title)
+	fprintf(w, "    reproduces: %s\n\n", e.Source)
+}
+
+// scale returns full unless quick, then reduced.
+func scale(quick bool, full, reduced int) int {
+	if quick {
+		return reduced
+	}
+	return full
+}
+
+// migrationEvery returns the canonical best→worst policy with the given
+// interval and migrant count.
+func migrationEvery(interval, count int) migration.Policy {
+	return migration.Policy{Interval: interval, Count: count}
+}
+
+// rate formats a hit-rate as "17/20".
+func rate(h *stats.HitRate) string {
+	return fmt.Sprintf("%d/%d", h.Hits(), h.Runs())
+}
+
+// problemSpectrum returns the Alba & Troya problem classes at a size
+// suited to island experiments.
+func problemSpectrum(quick bool) []core.Problem {
+	bits := scale(quick, 48, 24)
+	return []core.Problem{
+		problems.OneMax{N: bits},                       // easy
+		problems.DeceptiveTrap{Blocks: bits / 4, K: 4}, // deceptive
+		problems.NewPPeaks(20, bits, 12345),            // multimodal
+		problems.NewSubsetSum(bits, 12345),             // NP-complete
+		problems.NewNKLandscape(bits, 4, 12345),        // epistatic
+	}
+}

@@ -1,0 +1,340 @@
+// Package ga implements the sequential genetic-algorithm engines of the
+// library: the generational GA (with optional generation gap and elitism)
+// and the steady-state GA.
+//
+// These are both the baseline of every parallel comparison in the
+// experiment suite and the inner loop run inside each island deme — the
+// "panmictic (steady-state or generational)" evolution schemes whose
+// island-level comparison Alba & Troya (2002) carried out and the survey
+// reviews in §2.
+package ga
+
+import (
+	"fmt"
+	"sort"
+
+	"pga/internal/core"
+	"pga/internal/operators"
+	"pga/internal/rng"
+)
+
+// Engine is one evolving population that can be advanced step by step.
+// A step is one "generation equivalent": a full generation for the
+// generational engine, PopSize births for the steady-state engine, one
+// grid sweep for the cellular engine (internal/cellular).
+//
+// The Population accessor exposes the live population so that migration
+// (internal/island) can exchange individuals between steps.
+type Engine interface {
+	// Name identifies the engine configuration.
+	Name() string
+	// Step advances the population by one generation equivalent.
+	Step()
+	// Population returns the live population (mutable between steps).
+	Population() *core.Population
+	// Problem returns the problem being optimised.
+	Problem() core.Problem
+	// Evaluations returns the cumulative number of fitness evaluations.
+	Evaluations() int64
+}
+
+// Config collects the knobs shared by the sequential engines. Zero values
+// select canonical defaults (documented per field).
+type Config struct {
+	// Problem is the optimisation problem (required).
+	Problem core.Problem
+	// PopSize is the population size; default 100.
+	PopSize int
+	// Selector chooses parents; default Tournament{K: 2}.
+	Selector operators.Selector
+	// Crossover recombines parents; nil evolves by mutation only.
+	Crossover operators.Crossover
+	// CrossoverRate is the probability a selected pair is recombined
+	// rather than copied; default 0.9.
+	CrossoverRate float64
+	// Mutator perturbs offspring; nil disables mutation.
+	Mutator operators.Mutator
+	// Elitism is the number of best individuals copied unchanged into the
+	// next generation (generational engine only); default 1. Set to -1 for
+	// no elitism.
+	Elitism int
+	// GenGap is the fraction of the population replaced each generation
+	// (generational engine only); default 1.0 — Bethke (1976)'s
+	// generational-gap GA is obtained with GenGap < 1.
+	GenGap float64
+	// ReplaceWorst selects steady-state replacement of the current worst
+	// individual; when false a random individual is replaced
+	// (steady-state engine only). Default true (set via NewSteadyState).
+	ReplaceWorst bool
+	// Evaluator performs fitness evaluations; default a SerialEvaluator.
+	// The master–slave model plugs its parallel farm in here.
+	Evaluator core.Evaluator
+	// RNG is the engine's random stream (required; use rng.New or a
+	// Split from a parent stream for parallel determinism).
+	RNG *rng.Source
+}
+
+// withDefaults returns a copy of c with zero values replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.PopSize == 0 {
+		c.PopSize = 100
+	}
+	if c.Selector == nil {
+		c.Selector = operators.Tournament{K: 2}
+	}
+	if c.CrossoverRate == 0 {
+		c.CrossoverRate = 0.9
+	}
+	if c.GenGap == 0 {
+		c.GenGap = 1.0
+	}
+	if c.Elitism == 0 {
+		c.Elitism = 1
+	}
+	if c.Elitism == -1 {
+		c.Elitism = 0
+	}
+	if c.Evaluator == nil {
+		c.Evaluator = &core.SerialEvaluator{}
+	}
+	return c
+}
+
+func (c Config) validate() {
+	if c.Problem == nil {
+		panic("ga: Config.Problem is required")
+	}
+	if c.RNG == nil {
+		panic("ga: Config.RNG is required")
+	}
+	if c.PopSize < 2 {
+		panic("ga: PopSize must be at least 2")
+	}
+	if c.GenGap < 0 || c.GenGap > 1 {
+		panic("ga: GenGap must be in [0,1]")
+	}
+	if c.Elitism < 0 || c.Elitism >= c.PopSize {
+		panic("ga: Elitism must be in [0, PopSize)")
+	}
+}
+
+// rankedIndices returns population indices ordered best → worst under dir.
+func rankedIndices(pop *core.Population, dir core.Direction) []int {
+	idx := make([]int, pop.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return dir.Better(pop.Members[idx[a]].Fitness, pop.Members[idx[b]].Fitness)
+	})
+	return idx
+}
+
+// Generational is the classic generational GA: each step builds a new
+// population from selected, recombined and mutated offspring, preserving
+// Elitism top individuals; with GenGap < 1 only that fraction of the
+// population is replaced and the best survivors fill the remainder.
+type Generational struct {
+	cfg Config
+	pop *core.Population
+	dir core.Direction
+}
+
+var _ Engine = (*Generational)(nil)
+
+// NewGenerational creates a generational engine with a random, evaluated
+// initial population.
+func NewGenerational(cfg Config) *Generational {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	e := &Generational{cfg: cfg, dir: cfg.Problem.Direction()}
+	e.pop = core.NewPopulation(cfg.PopSize)
+	for i := 0; i < cfg.PopSize; i++ {
+		e.pop.Members = append(e.pop.Members, core.NewIndividual(cfg.Problem.NewGenome(cfg.RNG)))
+	}
+	cfg.Evaluator.EvaluateAll(cfg.Problem, e.pop)
+	return e
+}
+
+// Name implements Engine.
+func (e *Generational) Name() string {
+	if e.cfg.GenGap < 1 {
+		return fmt.Sprintf("generational(gap=%.2g)", e.cfg.GenGap)
+	}
+	return "generational"
+}
+
+// Population implements Engine.
+func (e *Generational) Population() *core.Population { return e.pop }
+
+// Problem implements Engine.
+func (e *Generational) Problem() core.Problem { return e.cfg.Problem }
+
+// Evaluations implements Engine.
+func (e *Generational) Evaluations() int64 { return e.cfg.Evaluator.Evaluations() }
+
+// SetPopulation replaces the engine's population — the restore half of
+// checkpointing (see internal/persist). The population must match the
+// configured size and be fully evaluated.
+func (e *Generational) SetPopulation(pop *core.Population) {
+	if pop.Len() != e.cfg.PopSize {
+		panic("ga: SetPopulation size mismatch")
+	}
+	for _, ind := range pop.Members {
+		if !ind.Evaluated {
+			panic("ga: SetPopulation requires an evaluated population")
+		}
+	}
+	e.pop = pop
+}
+
+// Step implements Engine.
+func (e *Generational) Step() {
+	cfg := &e.cfg
+	n := cfg.PopSize
+	births := int(cfg.GenGap * float64(n))
+	if births < 1 {
+		births = 1
+	}
+	if births > n-cfg.Elitism {
+		births = n - cfg.Elitism
+	}
+
+	offspring := make([]*core.Individual, 0, births+1)
+	for len(offspring) < births {
+		i := cfg.Selector.Select(e.pop, e.dir, cfg.RNG)
+		j := cfg.Selector.Select(e.pop, e.dir, cfg.RNG)
+		var c1, c2 core.Genome
+		if cfg.Crossover != nil && cfg.RNG.Chance(cfg.CrossoverRate) {
+			c1, c2 = cfg.Crossover.Cross(e.pop.Members[i].Genome, e.pop.Members[j].Genome, cfg.RNG)
+		} else {
+			c1 = e.pop.Members[i].Genome.Clone()
+			c2 = e.pop.Members[j].Genome.Clone()
+		}
+		for _, g := range []core.Genome{c1, c2} {
+			if cfg.Mutator != nil {
+				cfg.Mutator.Mutate(g, cfg.RNG)
+			}
+			offspring = append(offspring, core.NewIndividual(g))
+		}
+	}
+	offspring = offspring[:births]
+
+	ranked := rankedIndices(e.pop, e.dir) // best → worst
+	next := core.NewPopulation(n)
+	// Elites survive unchanged.
+	for i := 0; i < cfg.Elitism; i++ {
+		next.Members = append(next.Members, e.pop.Members[ranked[i]].Clone())
+	}
+	next.Members = append(next.Members, offspring...)
+	// GenGap < 1: the best non-elite survivors keep their slots.
+	for i := cfg.Elitism; next.Len() < n && i < len(ranked); i++ {
+		next.Members = append(next.Members, e.pop.Members[ranked[i]].Clone())
+	}
+	e.pop = next
+	cfg.Evaluator.EvaluateAll(cfg.Problem, e.pop)
+}
+
+// SteadyState is the steady-state GA: each birth selects two parents,
+// produces one child, and inserts it back into the population immediately,
+// so good genes spread within a "generation". One Step performs PopSize
+// births to stay comparable with a generational step.
+type SteadyState struct {
+	cfg Config
+	pop *core.Population
+	dir core.Direction
+	// birthEvals counts evaluations performed directly by birth, which
+	// bypass the Evaluator interface (one genome at a time).
+	birthEvals int64
+}
+
+var _ Engine = (*SteadyState)(nil)
+
+// NewSteadyState creates a steady-state engine with a random, evaluated
+// initial population. Unless cfg.ReplaceWorst is set explicitly the
+// canonical replace-worst policy is used.
+func NewSteadyState(cfg Config, replaceWorst bool) *SteadyState {
+	cfg.ReplaceWorst = replaceWorst
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	e := &SteadyState{cfg: cfg, dir: cfg.Problem.Direction()}
+	e.pop = core.NewPopulation(cfg.PopSize)
+	for i := 0; i < cfg.PopSize; i++ {
+		e.pop.Members = append(e.pop.Members, core.NewIndividual(cfg.Problem.NewGenome(cfg.RNG)))
+	}
+	cfg.Evaluator.EvaluateAll(cfg.Problem, e.pop)
+	return e
+}
+
+// Name implements Engine.
+func (e *SteadyState) Name() string {
+	if e.cfg.ReplaceWorst {
+		return "steady-state(worst)"
+	}
+	return "steady-state(random)"
+}
+
+// Population implements Engine.
+func (e *SteadyState) Population() *core.Population { return e.pop }
+
+// Problem implements Engine.
+func (e *SteadyState) Problem() core.Problem { return e.cfg.Problem }
+
+// Evaluations implements Engine.
+func (e *SteadyState) Evaluations() int64 { return e.cfg.Evaluator.Evaluations() + e.birthEvals }
+
+// SetPopulation replaces the engine's population — the restore half of
+// checkpointing (see internal/persist). The population must match the
+// configured size and be fully evaluated.
+func (e *SteadyState) SetPopulation(pop *core.Population) {
+	if pop.Len() != e.cfg.PopSize {
+		panic("ga: SetPopulation size mismatch")
+	}
+	for _, ind := range pop.Members {
+		if !ind.Evaluated {
+			panic("ga: SetPopulation requires an evaluated population")
+		}
+	}
+	e.pop = pop
+}
+
+// Step implements Engine: PopSize sequential births.
+func (e *SteadyState) Step() {
+	for b := 0; b < e.cfg.PopSize; b++ {
+		e.birth()
+	}
+}
+
+// birth produces and inserts one offspring.
+func (e *SteadyState) birth() {
+	cfg := &e.cfg
+	i := cfg.Selector.Select(e.pop, e.dir, cfg.RNG)
+	j := cfg.Selector.Select(e.pop, e.dir, cfg.RNG)
+	var child core.Genome
+	if cfg.Crossover != nil && cfg.RNG.Chance(cfg.CrossoverRate) {
+		child, _ = cfg.Crossover.Cross(e.pop.Members[i].Genome, e.pop.Members[j].Genome, cfg.RNG)
+	} else {
+		child = e.pop.Members[i].Genome.Clone()
+	}
+	if cfg.Mutator != nil {
+		cfg.Mutator.Mutate(child, cfg.RNG)
+	}
+	ind := core.NewIndividual(child)
+	ind.Fitness = cfg.Problem.Evaluate(ind.Genome)
+	ind.Evaluated = true
+	e.birthEvals++
+
+	var victim int
+	if cfg.ReplaceWorst {
+		victim = e.pop.Worst(e.dir)
+	} else {
+		victim = cfg.RNG.Intn(e.pop.Len())
+	}
+	// Never replace the incumbent best with something worse: this is the
+	// standard steady-state elitism guarantee.
+	best := e.pop.Best(e.dir)
+	if victim == best && !e.dir.BetterOrEqual(ind.Fitness, e.pop.Members[best].Fitness) {
+		return
+	}
+	e.pop.Replace(victim, ind)
+}

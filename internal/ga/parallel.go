@@ -1,0 +1,125 @@
+package ga
+
+import (
+	"sync"
+
+	"pga/internal/core"
+	"pga/internal/rng"
+)
+
+// ParallelGenerational is the shared-memory global PGA of Bethke (1976)
+// and Grefenstette's types 1–3 (survey §2): one panmictic population
+// whose whole reproduction step — selection, crossover, mutation and
+// evaluation — runs in parallel workers over shared memory, not just the
+// fitness evaluations (contrast with the master–slave Farm, which
+// parallelises evaluation only).
+//
+// Determinism: the generation's births are statically partitioned into
+// contiguous blocks, one per worker, and each worker owns a private
+// stream split from the engine seed at construction. Results are
+// therefore identical regardless of goroutine scheduling or worker count
+// changes between runs with the same (seed, workers) pair.
+type ParallelGenerational struct {
+	cfg     Config
+	pop     *core.Population
+	dir     core.Direction
+	workers int
+	streams []*rng.Source
+	evals   int64
+}
+
+var _ Engine = (*ParallelGenerational)(nil)
+
+// NewParallelGenerational creates the engine with the given worker count
+// (minimum 1). cfg.Evaluator is ignored: evaluation happens inside the
+// reproduction workers.
+func NewParallelGenerational(cfg Config, workers int) *ParallelGenerational {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	if workers < 1 {
+		workers = 1
+	}
+	e := &ParallelGenerational{
+		cfg:     cfg,
+		dir:     cfg.Problem.Direction(),
+		workers: workers,
+		streams: cfg.RNG.SplitN(workers),
+	}
+	e.pop = core.NewPopulation(cfg.PopSize)
+	for i := 0; i < cfg.PopSize; i++ {
+		ind := core.NewIndividual(cfg.Problem.NewGenome(cfg.RNG))
+		ind.Fitness = cfg.Problem.Evaluate(ind.Genome)
+		ind.Evaluated = true
+		e.evals++
+		e.pop.Members = append(e.pop.Members, ind)
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *ParallelGenerational) Name() string { return "parallel-generational" }
+
+// Population implements Engine.
+func (e *ParallelGenerational) Population() *core.Population { return e.pop }
+
+// Problem implements Engine.
+func (e *ParallelGenerational) Problem() core.Problem { return e.cfg.Problem }
+
+// Evaluations implements Engine.
+func (e *ParallelGenerational) Evaluations() int64 { return e.evals }
+
+// Step implements Engine: one full generation produced in parallel.
+// Workers read the previous population (immutable during the step) and
+// write disjoint slices of the next one, so no locking is needed —
+// exactly the shared-memory discipline of the early global PGAs.
+func (e *ParallelGenerational) Step() {
+	cfg := &e.cfg
+	n := cfg.PopSize
+	births := n - cfg.Elitism
+
+	next := make([]*core.Individual, births)
+	counts := make([]int64, e.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		lo := births * w / e.workers
+		hi := births * (w + 1) / e.workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			r := e.streams[w]
+			for i := lo; i < hi; i++ {
+				a := cfg.Selector.Select(e.pop, e.dir, r)
+				b := cfg.Selector.Select(e.pop, e.dir, r)
+				var child core.Genome
+				if cfg.Crossover != nil && r.Chance(cfg.CrossoverRate) {
+					child, _ = cfg.Crossover.Cross(e.pop.Members[a].Genome, e.pop.Members[b].Genome, r)
+				} else {
+					child = e.pop.Members[a].Genome.Clone()
+				}
+				if cfg.Mutator != nil {
+					cfg.Mutator.Mutate(child, r)
+				}
+				ind := core.NewIndividual(child)
+				ind.Fitness = cfg.Problem.Evaluate(ind.Genome)
+				ind.Evaluated = true
+				next[i] = ind
+				counts[w]++
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, c := range counts {
+		e.evals += c
+	}
+
+	newPop := core.NewPopulation(n)
+	ranked := rankedIndices(e.pop, e.dir)
+	for i := 0; i < cfg.Elitism; i++ {
+		newPop.Members = append(newPop.Members, e.pop.Members[ranked[i]].Clone())
+	}
+	newPop.Members = append(newPop.Members, next...)
+	e.pop = newPop
+}

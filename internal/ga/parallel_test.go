@@ -1,0 +1,132 @@
+package ga
+
+import (
+	"testing"
+
+	"pga/internal/core"
+	"pga/internal/problems"
+	"pga/internal/rng"
+)
+
+func TestParallelGenerationalSolvesOneMax(t *testing.T) {
+	e := NewParallelGenerational(baseConfig(31), 4)
+	res := Run(e, RunOptions{Stop: core.AnyOf{
+		core.MaxGenerations(300),
+		core.TargetFitness{Target: 64, Dir: core.Maximize},
+	}})
+	if !res.Solved {
+		t.Fatalf("parallel generational failed: %v", res.BestFitness)
+	}
+}
+
+func TestParallelGenerationalDeterministic(t *testing.T) {
+	run := func() float64 {
+		e := NewParallelGenerational(baseConfig(32), 4)
+		for i := 0; i < 20; i++ {
+			e.Step()
+		}
+		return e.Population().BestFitness(core.Maximize)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("parallel engine not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestParallelGenerationalWorkerCountChangesStream(t *testing.T) {
+	// Different worker counts repartition the birth blocks and streams, so
+	// results differ — but both must remain internally deterministic.
+	run := func(workers int) float64 {
+		e := NewParallelGenerational(baseConfig(33), workers)
+		for i := 0; i < 10; i++ {
+			e.Step()
+		}
+		return e.Population().MeanFitness()
+	}
+	if run(2) != run(2) || run(5) != run(5) {
+		t.Fatal("per-worker-count determinism broken")
+	}
+}
+
+func TestParallelGenerationalElitism(t *testing.T) {
+	e := NewParallelGenerational(baseConfig(34), 3)
+	prev := e.Population().BestFitness(core.Maximize)
+	for i := 0; i < 30; i++ {
+		e.Step()
+		cur := e.Population().BestFitness(core.Maximize)
+		if cur < prev {
+			t.Fatalf("elitism violated: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestParallelGenerationalPopulationSizeStable(t *testing.T) {
+	cfg := baseConfig(35)
+	e := NewParallelGenerational(cfg, 7) // worker count not dividing births
+	for i := 0; i < 10; i++ {
+		e.Step()
+		if e.Population().Len() != cfg.PopSize {
+			t.Fatalf("size %d != %d", e.Population().Len(), cfg.PopSize)
+		}
+		for _, ind := range e.Population().Members {
+			if !ind.Evaluated {
+				t.Fatal("unevaluated member after parallel step")
+			}
+		}
+	}
+}
+
+func TestParallelGenerationalEvaluationCount(t *testing.T) {
+	cfg := baseConfig(36)
+	e := NewParallelGenerational(cfg, 4)
+	if e.Evaluations() != int64(cfg.PopSize) {
+		t.Fatalf("initial evals %d", e.Evaluations())
+	}
+	e.Step()
+	want := int64(cfg.PopSize + cfg.PopSize - 1) // elitism 1
+	if e.Evaluations() != want {
+		t.Fatalf("after step evals %d, want %d", e.Evaluations(), want)
+	}
+}
+
+func TestParallelGenerationalSingleWorkerFloor(t *testing.T) {
+	e := NewParallelGenerational(baseConfig(37), 0) // clamped to 1
+	e.Step()
+	if e.Population().Len() != 60 {
+		t.Fatal("single-worker step broken")
+	}
+	if e.Name() == "" || e.Problem() == nil {
+		t.Fatal("metadata missing")
+	}
+}
+
+func TestParallelMatchesSequentialQuality(t *testing.T) {
+	// Parallel reproduction is a different stream layout, not a different
+	// algorithm: solution quality at equal budget should be comparable.
+	seqBest, parBest := 0.0, 0.0
+	const runs = 5
+	for s := uint64(0); s < runs; s++ {
+		cfg := Config{
+			Problem:   problems.DeceptiveTrap{Blocks: 8, K: 4},
+			PopSize:   50,
+			Crossover: baseConfig(0).Crossover,
+			Mutator:   baseConfig(0).Mutator,
+			RNG:       rng.New(s * 13),
+		}
+		seq := NewGenerational(cfg)
+		res := Run(seq, RunOptions{Stop: core.MaxGenerations(60)})
+		seqBest += res.BestFitness
+
+		cfg2 := cfg
+		cfg2.RNG = rng.New(s * 13)
+		par := NewParallelGenerational(cfg2, 4)
+		res2 := Run(par, RunOptions{Stop: core.MaxGenerations(60)})
+		parBest += res2.BestFitness
+	}
+	seqBest /= runs
+	parBest /= runs
+	if parBest < seqBest*0.9 {
+		t.Fatalf("parallel reproduction much worse: %v vs %v", parBest, seqBest)
+	}
+}

@@ -1,0 +1,91 @@
+package ga
+
+import (
+	"time"
+
+	"pga/internal/core"
+)
+
+// RunOptions tunes Run's behaviour.
+type RunOptions struct {
+	// Stop terminates the run (required).
+	Stop core.StopCondition
+	// Trace enables per-step progress recording in the Result.
+	Trace bool
+	// OnStep, when non-nil, is called after every step with the current
+	// status (hook for live displays and experiment instrumentation).
+	OnStep func(core.Status)
+}
+
+// Run drives engine step by step until the stop condition fires and
+// returns the run summary. It is the single sequential "run loop" used by
+// baselines and by each island goroutine.
+func Run(engine Engine, opts RunOptions) *core.Result {
+	if opts.Stop == nil {
+		panic("ga: RunOptions.Stop is required")
+	}
+	start := time.Now()
+	dir := engine.Problem().Direction()
+	ta, hasTarget := engine.Problem().(core.TargetAware)
+
+	res := &core.Result{Problem: engine.Problem().Name()}
+	best := dir.Worst()
+	var bestInd *core.Individual
+	record := func() bool {
+		improved := false
+		pop := engine.Population()
+		if i := pop.Best(dir); i >= 0 && dir.Better(pop.Members[i].Fitness, best) {
+			best = pop.Members[i].Fitness
+			bestInd = pop.Members[i].Clone()
+			improved = true
+			if hasTarget && !res.Solved && ta.Solved(best) {
+				res.Solved = true
+				res.SolvedAtEval = engine.Evaluations()
+			}
+		}
+		return improved
+	}
+	record() // initial population counts
+
+	status := core.Status{
+		Generation:  0,
+		Evaluations: engine.Evaluations(),
+		BestFitness: best,
+		Improved:    true,
+	}
+	if opts.Trace {
+		res.Trace = append(res.Trace, core.TracePoint{
+			Generation: 0, Evaluations: status.Evaluations,
+			Best: best, Mean: engine.Population().MeanFitness(),
+		})
+	}
+
+	for !opts.Stop.Done(status) {
+		engine.Step()
+		status.Generation++
+		status.Evaluations = engine.Evaluations()
+		status.Improved = record()
+		status.BestFitness = best
+		if opts.Trace {
+			res.Trace = append(res.Trace, core.TracePoint{
+				Generation: status.Generation, Evaluations: status.Evaluations,
+				Best: best, Mean: engine.Population().MeanFitness(),
+			})
+		}
+		if opts.OnStep != nil {
+			opts.OnStep(status)
+		}
+	}
+
+	res.Best = bestInd
+	res.BestFitness = best
+	res.Generations = status.Generation
+	res.Evaluations = status.Evaluations
+	res.Elapsed = time.Since(start)
+	if any, ok := opts.Stop.(core.AnyOf); ok {
+		res.StopReason = any.FiredReason(status)
+	} else {
+		res.StopReason = opts.Stop.Reason()
+	}
+	return res
+}

@@ -1,0 +1,376 @@
+// Package genome provides the concrete chromosome representations used by
+// the library: binary strings (with optional Gray decoding), real-valued
+// vectors, bounded integer vectors and permutations.
+//
+// The survey's reviewed systems span all four: binary strings are the
+// classic Goldberg/Holland encoding, real vectors cover the ARGA-style
+// real-coded algorithms (Oyama 2000), integer vectors cover assignment
+// problems such as reactor-core loading (Pereira 2003), and permutations
+// cover routing/scheduling (TSP, Sena 2001).
+package genome
+
+import (
+	"fmt"
+	"strings"
+
+	"pga/internal/core"
+	"pga/internal/rng"
+)
+
+// Compile-time interface checks.
+var (
+	_ core.Genome = (*BitString)(nil)
+	_ core.Genome = (*RealVector)(nil)
+	_ core.Genome = (*IntVector)(nil)
+	_ core.Genome = (*Permutation)(nil)
+)
+
+// BitString is a fixed-length binary chromosome.
+type BitString struct {
+	Bits []bool
+}
+
+// NewBitString returns an all-zero bit string of length n.
+func NewBitString(n int) *BitString { return &BitString{Bits: make([]bool, n)} }
+
+// RandomBitString returns a uniformly random bit string of length n.
+func RandomBitString(n int, r *rng.Source) *BitString {
+	b := NewBitString(n)
+	for i := range b.Bits {
+		b.Bits[i] = r.Bool()
+	}
+	return b
+}
+
+// Clone implements core.Genome.
+func (b *BitString) Clone() core.Genome {
+	c := NewBitString(len(b.Bits))
+	copy(c.Bits, b.Bits)
+	return c
+}
+
+// Len implements core.Genome.
+func (b *BitString) Len() int { return len(b.Bits) }
+
+// String implements core.Genome. Long genomes are abbreviated.
+func (b *BitString) String() string {
+	var sb strings.Builder
+	n := len(b.Bits)
+	show := n
+	if show > 64 {
+		show = 64
+	}
+	for i := 0; i < show; i++ {
+		if b.Bits[i] {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	if show < n {
+		fmt.Fprintf(&sb, "…(%d)", n)
+	}
+	return sb.String()
+}
+
+// OnesCount returns the number of one-bits.
+func (b *BitString) OnesCount() int {
+	n := 0
+	for _, bit := range b.Bits {
+		if bit {
+			n++
+		}
+	}
+	return n
+}
+
+// Hamming returns the Hamming distance to o. It panics on length mismatch.
+func (b *BitString) Hamming(o *BitString) int {
+	if len(b.Bits) != len(o.Bits) {
+		panic("genome: Hamming distance between different lengths")
+	}
+	d := 0
+	for i := range b.Bits {
+		if b.Bits[i] != o.Bits[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Equal reports whether b and o hold identical bits.
+func (b *BitString) Equal(o *BitString) bool {
+	if len(b.Bits) != len(o.Bits) {
+		return false
+	}
+	for i := range b.Bits {
+		if b.Bits[i] != o.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Uint decodes bits [lo, hi) as a big-endian unsigned integer.
+// It panics if the range is invalid or wider than 64 bits.
+func (b *BitString) Uint(lo, hi int) uint64 {
+	if lo < 0 || hi > len(b.Bits) || hi < lo || hi-lo > 64 {
+		panic("genome: Uint range invalid")
+	}
+	var v uint64
+	for i := lo; i < hi; i++ {
+		v <<= 1
+		if b.Bits[i] {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// SetUint encodes v big-endian into bits [lo, hi).
+func (b *BitString) SetUint(lo, hi int, v uint64) {
+	if lo < 0 || hi > len(b.Bits) || hi < lo || hi-lo > 64 {
+		panic("genome: SetUint range invalid")
+	}
+	for i := hi - 1; i >= lo; i-- {
+		b.Bits[i] = v&1 == 1
+		v >>= 1
+	}
+}
+
+// GrayToBinary converts a Gray-coded value to plain binary.
+func GrayToBinary(g uint64) uint64 {
+	b := g
+	for g >>= 1; g != 0; g >>= 1 {
+		b ^= g
+	}
+	return b
+}
+
+// BinaryToGray converts a plain binary value to its Gray code.
+func BinaryToGray(b uint64) uint64 { return b ^ (b >> 1) }
+
+// DecodeReal decodes bits [lo, hi) into a float64 in [min, max], treating
+// the bits as Gray code when gray is true. This is the classic
+// fixed-point decoding of binary GAs for numeric optimisation.
+func (b *BitString) DecodeReal(lo, hi int, min, max float64, gray bool) float64 {
+	v := b.Uint(lo, hi)
+	if gray {
+		v = GrayToBinary(v)
+	}
+	bits := hi - lo
+	den := float64(uint64(1)<<uint(bits) - 1)
+	if den == 0 {
+		return min
+	}
+	return min + (max-min)*float64(v)/den
+}
+
+// RealVector is a fixed-length real-valued chromosome with per-run bounds
+// stored alongside the genes (shared, not copied, by Clone).
+type RealVector struct {
+	Genes []float64
+	// Lo and Hi are the per-gene bounds used by bounded operators. They
+	// are shared between clones (treated as immutable).
+	Lo, Hi []float64
+}
+
+// NewRealVector returns a zero vector of length n with bounds [lo, hi] on
+// every gene.
+func NewRealVector(n int, lo, hi float64) *RealVector {
+	l := make([]float64, n)
+	h := make([]float64, n)
+	for i := range l {
+		l[i], h[i] = lo, hi
+	}
+	return &RealVector{Genes: make([]float64, n), Lo: l, Hi: h}
+}
+
+// RandomRealVector returns a uniformly random vector within bounds.
+func RandomRealVector(n int, lo, hi float64, r *rng.Source) *RealVector {
+	v := NewRealVector(n, lo, hi)
+	for i := range v.Genes {
+		v.Genes[i] = r.Range(lo, hi)
+	}
+	return v
+}
+
+// Clone implements core.Genome. Bounds are shared (immutable by
+// convention); genes are copied.
+func (v *RealVector) Clone() core.Genome {
+	g := make([]float64, len(v.Genes))
+	copy(g, v.Genes)
+	return &RealVector{Genes: g, Lo: v.Lo, Hi: v.Hi}
+}
+
+// Len implements core.Genome.
+func (v *RealVector) Len() int { return len(v.Genes) }
+
+// String implements core.Genome.
+func (v *RealVector) String() string {
+	n := len(v.Genes)
+	show := n
+	if show > 8 {
+		show = 8
+	}
+	parts := make([]string, 0, show)
+	for i := 0; i < show; i++ {
+		parts = append(parts, fmt.Sprintf("%.3g", v.Genes[i]))
+	}
+	s := "[" + strings.Join(parts, " ")
+	if show < n {
+		s += fmt.Sprintf(" …(%d)", n)
+	}
+	return s + "]"
+}
+
+// Clamp forces every gene back into its bounds.
+func (v *RealVector) Clamp() {
+	for i, g := range v.Genes {
+		if g < v.Lo[i] {
+			v.Genes[i] = v.Lo[i]
+		} else if g > v.Hi[i] {
+			v.Genes[i] = v.Hi[i]
+		}
+	}
+}
+
+// InBounds reports whether every gene lies within its bounds.
+func (v *RealVector) InBounds() bool {
+	for i, g := range v.Genes {
+		if g < v.Lo[i] || g > v.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntVector is a fixed-length integer chromosome where every gene lies in
+// [0, Card) — e.g. an assignment of items to Card categories.
+type IntVector struct {
+	Genes []int
+	// Card is the cardinality of each gene's domain.
+	Card int
+}
+
+// NewIntVector returns a zero vector of length n with gene domain [0, card).
+func NewIntVector(n, card int) *IntVector {
+	return &IntVector{Genes: make([]int, n), Card: card}
+}
+
+// RandomIntVector returns a uniformly random integer vector.
+func RandomIntVector(n, card int, r *rng.Source) *IntVector {
+	v := NewIntVector(n, card)
+	for i := range v.Genes {
+		v.Genes[i] = r.Intn(card)
+	}
+	return v
+}
+
+// Clone implements core.Genome.
+func (v *IntVector) Clone() core.Genome {
+	g := make([]int, len(v.Genes))
+	copy(g, v.Genes)
+	return &IntVector{Genes: g, Card: v.Card}
+}
+
+// Len implements core.Genome.
+func (v *IntVector) Len() int { return len(v.Genes) }
+
+// String implements core.Genome.
+func (v *IntVector) String() string {
+	n := len(v.Genes)
+	show := n
+	if show > 16 {
+		show = 16
+	}
+	parts := make([]string, 0, show)
+	for i := 0; i < show; i++ {
+		parts = append(parts, fmt.Sprintf("%d", v.Genes[i]))
+	}
+	s := "[" + strings.Join(parts, " ")
+	if show < n {
+		s += fmt.Sprintf(" …(%d)", n)
+	}
+	return s + "]"
+}
+
+// Valid reports whether every gene lies in [0, Card).
+func (v *IntVector) Valid() bool {
+	for _, g := range v.Genes {
+		if g < 0 || g >= v.Card {
+			return false
+		}
+	}
+	return true
+}
+
+// Permutation is a chromosome encoding an ordering of n items; Perm always
+// holds each of 0..n-1 exactly once.
+type Permutation struct {
+	Perm []int
+}
+
+// IdentityPermutation returns the identity ordering of n items.
+func IdentityPermutation(n int) *Permutation {
+	p := &Permutation{Perm: make([]int, n)}
+	for i := range p.Perm {
+		p.Perm[i] = i
+	}
+	return p
+}
+
+// RandomPermutation returns a uniformly random ordering of n items.
+func RandomPermutation(n int, r *rng.Source) *Permutation {
+	return &Permutation{Perm: r.Perm(n)}
+}
+
+// Clone implements core.Genome.
+func (p *Permutation) Clone() core.Genome {
+	q := make([]int, len(p.Perm))
+	copy(q, p.Perm)
+	return &Permutation{Perm: q}
+}
+
+// Len implements core.Genome.
+func (p *Permutation) Len() int { return len(p.Perm) }
+
+// String implements core.Genome.
+func (p *Permutation) String() string {
+	n := len(p.Perm)
+	show := n
+	if show > 16 {
+		show = 16
+	}
+	parts := make([]string, 0, show)
+	for i := 0; i < show; i++ {
+		parts = append(parts, fmt.Sprintf("%d", p.Perm[i]))
+	}
+	s := "(" + strings.Join(parts, " ")
+	if show < n {
+		s += fmt.Sprintf(" …(%d)", n)
+	}
+	return s + ")"
+}
+
+// Valid reports whether Perm is a true permutation of 0..n-1.
+func (p *Permutation) Valid() bool {
+	seen := make([]bool, len(p.Perm))
+	for _, v := range p.Perm {
+		if v < 0 || v >= len(p.Perm) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// PositionOf returns the index at which item v appears, or -1.
+func (p *Permutation) PositionOf(v int) int {
+	for i, x := range p.Perm {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

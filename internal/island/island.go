@@ -1,0 +1,433 @@
+// Package island implements the coarse-grained (island / distributed /
+// multi-deme) parallel genetic algorithm — the model the survey calls the
+// dominant PGA form, introduced by Tanese (1987) and Pettey (1987) and
+// named by Manderick & Spiessens / Gordon / Adamidis (§2).
+//
+// Each deme runs an independent evolution engine (generational,
+// steady-state or cellular — see internal/ga and internal/cellular) and
+// periodically exchanges individuals with its topological neighbours under
+// a migration.Policy.
+//
+// Two execution modes are provided:
+//
+//   - RunSequential: all demes advance in lockstep inside one goroutine.
+//     Fully deterministic; the numeric experiments use this mode.
+//   - RunParallel: one goroutine per deme, migrants carried by channels —
+//     the CSP analogue of the MPI/PVM message passing used by the
+//     libraries in the survey's Table 1. Synchronous policies barrier
+//     every generation; asynchronous policies exchange through bounded
+//     non-blocking buffers (Alba & Troya 2001's async model).
+package island
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/migration"
+	"pga/internal/rng"
+	"pga/internal/topology"
+)
+
+// Config describes an island-model run.
+type Config struct {
+	// Topology is the inter-deme graph; its Size is the deme count
+	// (required).
+	Topology topology.Topology
+	// Policy is the migration policy (defaults applied via WithDefaults).
+	Policy migration.Policy
+	// NewEngine builds deme i's evolution engine from its private random
+	// stream (required). Engines must not be shared between demes.
+	NewEngine func(deme int, r *rng.Source) ga.Engine
+	// RewireEvery rewires a dynamic topology (one implementing
+	// Rewire()) after every N migration epochs; 0 never rewires. It has
+	// effect only in the deterministic modes (sequential and
+	// sync-parallel) — the survey's §1.1 "static and dynamic topologies".
+	RewireEvery int
+	// Seed seeds the master random stream from which every deme's engine
+	// and migration streams are split.
+	Seed uint64
+}
+
+// rewirable is implemented by dynamic topologies (topology.Dynamic).
+type rewirable interface{ Rewire() }
+
+// Result summarises an island-model run.
+type Result struct {
+	// Best is the best individual found across all demes.
+	Best *core.Individual
+	// BestFitness is Best's fitness.
+	BestFitness float64
+	// Generations is the number of island generations completed (the
+	// maximum over demes in parallel mode).
+	Generations int
+	// Evaluations is the total fitness evaluations across all demes.
+	Evaluations int64
+	// Solved reports whether the problem's known optimum was reached.
+	Solved bool
+	// SolvedAtEval is the total evaluation count when first solved.
+	SolvedAtEval int64
+	// SolvedAtGen is the island generation when first solved.
+	SolvedAtGen int
+	// Migrations counts migrant batches delivered (one batch = Count
+	// individuals sent over one link).
+	Migrations int64
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+	// Trace is the global best per generation (sequential mode, and
+	// sync-parallel mode, when tracing was requested).
+	Trace []core.TracePoint
+	// PerDemeBest is the final best fitness of each deme.
+	PerDemeBest []float64
+}
+
+// Model is an instantiated island system.
+type Model struct {
+	cfg     Config
+	engines []ga.Engine
+	migRNGs []*rng.Source
+	dir     core.Direction
+	problem core.Problem
+}
+
+// New builds the demes. Deme i's engine stream and migration stream are
+// split deterministically from the master seed, so sequential and
+// sync-parallel runs are reproducible.
+func New(cfg Config) *Model {
+	if cfg.Topology == nil {
+		panic("island: Config.Topology is required")
+	}
+	if cfg.NewEngine == nil {
+		panic("island: Config.NewEngine is required")
+	}
+	cfg.Policy = cfg.Policy.WithDefaults()
+	n := cfg.Topology.Size()
+	if n < 1 {
+		panic("island: topology has no demes")
+	}
+	master := rng.New(cfg.Seed)
+	m := &Model{
+		cfg:     cfg,
+		engines: make([]ga.Engine, n),
+		migRNGs: make([]*rng.Source, n),
+	}
+	for i := 0; i < n; i++ {
+		engineRNG := master.Split()
+		m.migRNGs[i] = master.Split()
+		m.engines[i] = cfg.NewEngine(i, engineRNG)
+	}
+	m.problem = m.engines[0].Problem()
+	m.dir = m.problem.Direction()
+	return m
+}
+
+// Demes returns the number of demes.
+func (m *Model) Demes() int { return len(m.engines) }
+
+// Engines exposes the deme engines (read-only use intended; tests and
+// instrumentation).
+func (m *Model) Engines() []ga.Engine { return m.engines }
+
+// totalEvaluations sums evaluations across demes.
+func (m *Model) totalEvaluations() int64 {
+	var t int64
+	for _, e := range m.engines {
+		t += e.Evaluations()
+	}
+	return t
+}
+
+// globalBest returns a clone of the best individual across demes.
+func (m *Model) globalBest() (*core.Individual, float64) {
+	bestFit := m.dir.Worst()
+	var best *core.Individual
+	for _, e := range m.engines {
+		pop := e.Population()
+		if i := pop.Best(m.dir); i >= 0 && m.dir.Better(pop.Members[i].Fitness, bestFit) {
+			bestFit = pop.Members[i].Fitness
+			best = pop.Members[i]
+		}
+	}
+	if best != nil {
+		best = best.Clone()
+	}
+	return best, bestFit
+}
+
+// maybeRewire rewires a dynamic topology on schedule. epoch counts
+// completed migration epochs.
+func (m *Model) maybeRewire(epoch int64) {
+	if m.cfg.RewireEvery <= 0 || epoch == 0 || epoch%int64(m.cfg.RewireEvery) != 0 {
+		return
+	}
+	if rw, ok := m.cfg.Topology.(rewirable); ok {
+		rw.Rewire()
+	}
+}
+
+// exchange performs one synchronous migration epoch: every deme's
+// emigrants are picked from the pre-exchange populations, then delivered.
+// Returns the number of batches sent.
+func (m *Model) exchange() int64 {
+	p := m.cfg.Policy
+	n := len(m.engines)
+	outgoing := make([][]*core.Individual, n)
+	for i := 0; i < n; i++ {
+		if len(m.cfg.Topology.Neighbors(i)) == 0 {
+			continue
+		}
+		outgoing[i] = p.Select.Pick(m.engines[i].Population(), m.dir, p.Count, m.migRNGs[i])
+	}
+	var batches int64
+	for i := 0; i < n; i++ {
+		for _, nbr := range m.cfg.Topology.Neighbors(i) {
+			if len(outgoing[i]) == 0 {
+				continue
+			}
+			// Each neighbour receives its own clones.
+			migrants := make([]*core.Individual, len(outgoing[i]))
+			for k, ind := range outgoing[i] {
+				migrants[k] = ind.Clone()
+			}
+			p.Replace.Integrate(m.engines[nbr].Population(), m.dir, migrants, m.migRNGs[nbr])
+			batches++
+		}
+	}
+	return batches
+}
+
+// RunSequential advances all demes in lockstep until stop fires,
+// performing synchronous migration whenever the policy is due. It is fully
+// deterministic for a given Config.
+func (m *Model) RunSequential(stop core.StopCondition, trace bool) *Result {
+	if stop == nil {
+		panic("island: stop condition required")
+	}
+	start := time.Now()
+	res := &Result{}
+	ta, hasTarget := m.problem.(core.TargetAware)
+
+	best, bestFit := m.globalBest()
+	checkSolved := func(gen int) {
+		if hasTarget && !res.Solved && ta.Solved(bestFit) {
+			res.Solved = true
+			res.SolvedAtEval = m.totalEvaluations()
+			res.SolvedAtGen = gen
+		}
+	}
+	checkSolved(0)
+
+	status := core.Status{Generation: 0, Evaluations: m.totalEvaluations(), BestFitness: bestFit, Improved: true}
+	if trace {
+		res.Trace = append(res.Trace, core.TracePoint{Generation: 0, Evaluations: status.Evaluations, Best: bestFit, Mean: m.meanFitness()})
+	}
+
+	var epochs int64
+	for !stop.Done(status) {
+		for _, e := range m.engines {
+			e.Step()
+		}
+		status.Generation++
+		if m.cfg.Policy.Due(status.Generation) {
+			res.Migrations += m.exchange()
+			epochs++
+			m.maybeRewire(epochs)
+		}
+		nb, nf := m.globalBest()
+		status.Improved = m.dir.Better(nf, bestFit)
+		if status.Improved {
+			best, bestFit = nb, nf
+		}
+		status.BestFitness = bestFit
+		status.Evaluations = m.totalEvaluations()
+		checkSolved(status.Generation)
+		if trace {
+			res.Trace = append(res.Trace, core.TracePoint{Generation: status.Generation, Evaluations: status.Evaluations, Best: bestFit, Mean: m.meanFitness()})
+		}
+	}
+
+	m.finish(res, best, bestFit, status.Generation, start)
+	return res
+}
+
+// meanFitness returns the mean fitness over all demes' members.
+func (m *Model) meanFitness() float64 {
+	sum, n := 0.0, 0
+	for _, e := range m.engines {
+		for _, ind := range e.Population().Members {
+			if ind.Evaluated {
+				sum += ind.Fitness
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// finish fills the common tail of a Result.
+func (m *Model) finish(res *Result, best *core.Individual, bestFit float64, gens int, start time.Time) {
+	res.Best = best
+	res.BestFitness = bestFit
+	res.Generations = gens
+	res.Evaluations = m.totalEvaluations()
+	res.Elapsed = time.Since(start)
+	res.PerDemeBest = make([]float64, len(m.engines))
+	for i, e := range m.engines {
+		res.PerDemeBest[i] = e.Population().BestFitness(m.dir)
+	}
+}
+
+// RunParallel executes the island model with one goroutine per deme for at
+// most maxGens island generations, stopping early when the problem's known
+// optimum is found. Policy.Sync selects barriered generations (globally
+// deterministic); otherwise demes free-run and exchange migrants through
+// bounded non-blocking channels (migrant arrival order is scheduling
+// dependent — the only permitted nondeterminism in the library).
+func (m *Model) RunParallel(maxGens int, trace bool) *Result {
+	if m.cfg.Policy.Sync {
+		return m.runParallelSync(maxGens, trace)
+	}
+	return m.runParallelAsync(maxGens)
+}
+
+// runParallelSync: barrier per generation, central migration.
+func (m *Model) runParallelSync(maxGens int, trace bool) *Result {
+	start := time.Now()
+	res := &Result{}
+	ta, hasTarget := m.problem.(core.TargetAware)
+	best, bestFit := m.globalBest()
+
+	gen := 0
+	var epochs int64
+	for ; gen < maxGens; gen++ {
+		var wg sync.WaitGroup
+		for _, e := range m.engines {
+			wg.Add(1)
+			go func(e ga.Engine) {
+				defer wg.Done()
+				e.Step()
+			}(e)
+		}
+		wg.Wait()
+		g := gen + 1
+		if m.cfg.Policy.Due(g) {
+			res.Migrations += m.exchange()
+			epochs++
+			m.maybeRewire(epochs)
+		}
+		nb, nf := m.globalBest()
+		if m.dir.Better(nf, bestFit) {
+			best, bestFit = nb, nf
+		}
+		if trace {
+			res.Trace = append(res.Trace, core.TracePoint{Generation: g, Evaluations: m.totalEvaluations(), Best: bestFit, Mean: m.meanFitness()})
+		}
+		if hasTarget && ta.Solved(bestFit) {
+			res.Solved = true
+			res.SolvedAtEval = m.totalEvaluations()
+			res.SolvedAtGen = g
+			gen++
+			break
+		}
+	}
+	m.finish(res, best, bestFit, gen, start)
+	return res
+}
+
+// runParallelAsync: free-running demes with buffered channel migration.
+func (m *Model) runParallelAsync(maxGens int) *Result {
+	start := time.Now()
+	res := &Result{}
+	ta, hasTarget := m.problem.(core.TargetAware)
+	p := m.cfg.Policy
+	n := len(m.engines)
+
+	inbox := make([]chan []*core.Individual, n)
+	for i := range inbox {
+		inbox[i] = make(chan []*core.Individual, p.Buffer)
+	}
+	var solved atomic.Bool
+	var solvedGen atomic.Int64
+	var migrations atomic.Int64
+	gens := make([]int, n)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := m.engines[i]
+			mr := m.migRNGs[i]
+			nbrs := m.cfg.Topology.Neighbors(i)
+			for g := 1; g <= maxGens; g++ {
+				if solved.Load() {
+					return
+				}
+				e.Step()
+				gens[i] = g
+				if hasTarget {
+					if f := e.Population().BestFitness(m.dir); ta.Solved(f) {
+						if solved.CompareAndSwap(false, true) {
+							solvedGen.Store(int64(g))
+						}
+						return
+					}
+				}
+				if p.Due(g) {
+					// Emigrate: non-blocking send of a fresh clone batch per link.
+					if len(nbrs) > 0 {
+						out := p.Select.Pick(e.Population(), m.dir, p.Count, mr)
+						for _, nbr := range nbrs {
+							batch := make([]*core.Individual, len(out))
+							for k, ind := range out {
+								batch[k] = ind.Clone()
+							}
+							select {
+							case inbox[nbr] <- batch:
+								migrations.Add(1)
+							default:
+								// Receiver's buffer full: drop, never block
+								// evolution (bounded-staleness async model).
+							}
+						}
+					}
+					// Immigrate: drain whatever has arrived.
+				drain:
+					for {
+						select {
+						case batch := <-inbox[i]:
+							p.Replace.Integrate(e.Population(), m.dir, batch, mr)
+						default:
+							break drain
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	best, bestFit := m.globalBest()
+	res.Migrations = migrations.Load()
+	if solved.Load() {
+		res.Solved = true
+		// In async mode evaluation counters cannot be snapshotted at the
+		// instant of solving without racing other demes; the post-stop
+		// total is a slight overcount and is documented as such.
+		res.SolvedAtEval = m.totalEvaluations()
+		res.SolvedAtGen = int(solvedGen.Load())
+	}
+	maxGen := 0
+	for _, g := range gens {
+		if g > maxGen {
+			maxGen = g
+		}
+	}
+	m.finish(res, best, bestFit, maxGen, start)
+	return res
+}

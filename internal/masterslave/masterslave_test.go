@@ -1,0 +1,262 @@
+package masterslave
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/operators"
+	"pga/internal/problems"
+	"pga/internal/rng"
+)
+
+// countingProblem wraps OneMax and counts concurrent-safe evaluations.
+type countingProblem struct {
+	inner core.Problem
+	n     atomic.Int64
+}
+
+func (c *countingProblem) Name() string                        { return c.inner.Name() }
+func (c *countingProblem) Direction() core.Direction           { return c.inner.Direction() }
+func (c *countingProblem) NewGenome(r *rng.Source) core.Genome { return c.inner.NewGenome(r) }
+func (c *countingProblem) Evaluate(g core.Genome) float64 {
+	c.n.Add(1)
+	return c.inner.Evaluate(g)
+}
+
+func freshPop(p core.Problem, n int, seed uint64) *core.Population {
+	r := rng.New(seed)
+	pop := core.NewPopulation(n)
+	for i := 0; i < n; i++ {
+		pop.Members = append(pop.Members, core.NewIndividual(p.NewGenome(r)))
+	}
+	return pop
+}
+
+func TestFarmEvaluatesEverything(t *testing.T) {
+	p := &countingProblem{inner: problems.OneMax{N: 32}}
+	f := NewFarm(1, Uniform(4))
+	pop := freshPop(p, 50, 1)
+	f.EvaluateAll(p, pop)
+	for _, ind := range pop.Members {
+		if !ind.Evaluated {
+			t.Fatal("member left unevaluated")
+		}
+	}
+	if f.Evaluations() != 50 {
+		t.Fatalf("evals = %d, want 50", f.Evaluations())
+	}
+	if p.n.Load() != 50 {
+		t.Fatalf("problem evaluated %d times", p.n.Load())
+	}
+}
+
+func TestFarmSkipsAlreadyEvaluated(t *testing.T) {
+	p := problems.OneMax{N: 8}
+	f := NewFarm(2, Uniform(2))
+	pop := freshPop(p, 10, 2)
+	pop.Members[0].Fitness, pop.Members[0].Evaluated = 99, true
+	f.EvaluateAll(p, pop)
+	if pop.Members[0].Fitness != 99 {
+		t.Fatal("re-evaluated an evaluated member")
+	}
+	if f.Evaluations() != 9 {
+		t.Fatalf("evals = %d, want 9", f.Evaluations())
+	}
+}
+
+func TestFarmFitnessCorrect(t *testing.T) {
+	p := problems.OneMax{N: 64}
+	f := NewFarm(3, Uniform(8))
+	pop := freshPop(p, 40, 3)
+	f.EvaluateAll(p, pop)
+	for _, ind := range pop.Members {
+		if ind.Fitness != p.Evaluate(ind.Genome) {
+			t.Fatal("parallel fitness differs from direct evaluation")
+		}
+	}
+}
+
+func TestFarmWithTransientFailures(t *testing.T) {
+	p := &countingProblem{inner: problems.OneMax{N: 32}}
+	specs := []WorkerSpec{
+		{Speed: 1, FailProb: 0.5}, // flaky but immortal
+		{Speed: 1},
+	}
+	f := NewFarm(4, specs)
+	pop := freshPop(p, 60, 4)
+	f.EvaluateAll(p, pop)
+	for _, ind := range pop.Members {
+		if !ind.Evaluated {
+			t.Fatal("failure handling lost a task")
+		}
+	}
+	st := f.Stats()
+	if st.Failures == 0 {
+		t.Fatal("fault injection never fired at FailProb=0.5")
+	}
+	if st.Redispatched != st.Failures {
+		t.Fatalf("redispatched %d != failures %d", st.Redispatched, st.Failures)
+	}
+	if st.Evaluations != 60 {
+		t.Fatalf("evaluations %d", st.Evaluations)
+	}
+}
+
+func TestFarmHardFailureKillsWorker(t *testing.T) {
+	specs := []WorkerSpec{
+		{Speed: 1, FailProb: 1.0, MaxFailures: 3}, // dies after 3 failures
+		{Speed: 1},
+	}
+	f := NewFarm(5, specs)
+	p := problems.OneMax{N: 16}
+	pop := freshPop(p, 40, 5)
+	f.EvaluateAll(p, pop)
+	st := f.Stats()
+	if st.DeadWorkers != 1 {
+		t.Fatalf("dead workers = %d, want 1", st.DeadWorkers)
+	}
+	if st.TasksPerWorker[0] != 0 {
+		t.Fatal("always-failing worker completed tasks")
+	}
+	for _, ind := range pop.Members {
+		if !ind.Evaluated {
+			t.Fatal("hard failure lost a task")
+		}
+	}
+}
+
+func TestFarmAllWorkersDeadMasterFallback(t *testing.T) {
+	specs := []WorkerSpec{
+		{FailProb: 1.0, MaxFailures: 1},
+		{FailProb: 1.0, MaxFailures: 1},
+	}
+	f := NewFarm(6, specs)
+	p := problems.OneMax{N: 16}
+	pop := freshPop(p, 30, 6)
+	f.EvaluateAll(p, pop) // must terminate and evaluate everything
+	for _, ind := range pop.Members {
+		if !ind.Evaluated {
+			t.Fatal("master fallback did not complete the work")
+		}
+	}
+	if f.Stats().DeadWorkers != 2 {
+		t.Fatal("workers should both be dead")
+	}
+	// A second EvaluateAll goes straight to master fallback.
+	pop2 := freshPop(p, 10, 7)
+	f.EvaluateAll(p, pop2)
+	for _, ind := range pop2.Members {
+		if !ind.Evaluated {
+			t.Fatal("second master-fallback run failed")
+		}
+	}
+}
+
+func TestFarmSelfSchedulingAdaptivity(t *testing.T) {
+	// A dead-on-arrival worker takes no share; the healthy workers divide
+	// the work — the adaptivity property (no static partitioning).
+	specs := []WorkerSpec{
+		{FailProb: 1.0, MaxFailures: 1},
+		{Speed: 1},
+		{Speed: 1},
+	}
+	f := NewFarm(7, specs)
+	p := problems.OneMax{N: 16}
+	pop := freshPop(p, 100, 8)
+	f.EvaluateAll(p, pop)
+	st := f.Stats()
+	if st.TasksPerWorker[1]+st.TasksPerWorker[2] != 100 {
+		t.Fatalf("healthy workers did %d + %d tasks, want 100 total",
+			st.TasksPerWorker[1], st.TasksPerWorker[2])
+	}
+}
+
+func TestMakespanModel(t *testing.T) {
+	f := NewFarm(8, []WorkerSpec{{Speed: 1}, {Speed: 2}})
+	// Simulate completed work by direct manipulation through EvaluateAll.
+	p := problems.OneMax{N: 8}
+	pop := freshPop(p, 90, 9)
+	f.EvaluateAll(p, pop)
+	st := f.Stats()
+	total := st.TasksPerWorker[0] + st.TasksPerWorker[1]
+	if total != 90 {
+		t.Fatalf("total tasks %d", total)
+	}
+	ms := f.Makespan(1.0)
+	// Makespan must be at least total/combined-speed and at most total.
+	if ms < 30 || ms > 90 {
+		t.Fatalf("makespan %v outside plausible [30,90]", ms)
+	}
+}
+
+func TestFarmAsEvaluatorInsideGA(t *testing.T) {
+	// Transparency: the generational GA runs unchanged on a parallel farm.
+	farm := NewFarm(9, Uniform(4))
+	e := ga.NewGenerational(ga.Config{
+		Problem:   problems.OneMax{N: 48},
+		PopSize:   40,
+		Crossover: operators.Uniform{},
+		Mutator:   operators.BitFlip{},
+		Evaluator: farm,
+		RNG:       rng.New(10),
+	})
+	res := ga.Run(e, ga.RunOptions{Stop: core.AnyOf{
+		core.MaxGenerations(200),
+		core.TargetFitness{Target: 48, Dir: core.Maximize},
+	}})
+	if !res.Solved {
+		t.Fatalf("master-slave GA failed onemax: %v", res.BestFitness)
+	}
+	if farm.Evaluations() != res.Evaluations {
+		t.Fatalf("farm evals %d != run evals %d", farm.Evaluations(), res.Evaluations)
+	}
+}
+
+func TestFarmDeterministicFaultsPerSeed(t *testing.T) {
+	// With a single worker, every task lands on its failure stream, so the
+	// fault pattern is exactly reproducible per seed.
+	run := func() int64 {
+		f := NewFarm(42, []WorkerSpec{{FailProb: 0.3}})
+		p := problems.OneMax{N: 8}
+		pop := freshPop(p, 50, 11)
+		f.EvaluateAll(p, pop)
+		return f.Stats().Failures
+	}
+	a, b := run(), run()
+	if a == 0 {
+		t.Fatal("FailProb=0.3 produced no failures over 50+ attempts")
+	}
+	if a != b {
+		t.Fatalf("same seed produced different fault patterns: %d vs %d", a, b)
+	}
+}
+
+func TestNewFarmValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty worker list")
+		}
+	}()
+	NewFarm(1, nil)
+}
+
+func TestUniformSpecs(t *testing.T) {
+	specs := Uniform(5)
+	if len(specs) != 5 {
+		t.Fatal("wrong count")
+	}
+	for _, s := range specs {
+		if s.Speed != 1 || s.FailProb != 0 || s.MaxFailures != 0 {
+			t.Fatal("uniform spec not nominal")
+		}
+	}
+}
+
+func TestZeroSpeedNormalised(t *testing.T) {
+	f := NewFarm(1, []WorkerSpec{{Speed: 0}})
+	if f.specs[0].Speed != 1 {
+		t.Fatal("zero speed not normalised to 1")
+	}
+}

@@ -1,0 +1,110 @@
+package migration
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pga/internal/core"
+	"pga/internal/genome"
+	"pga/internal/rng"
+)
+
+// randomPop builds an evaluated random population of the given size.
+func randomPop(n int, r *rng.Source) *core.Population {
+	pop := core.NewPopulation(n)
+	for i := 0; i < n; i++ {
+		ind := core.NewIndividual(genome.RandomBitString(8, r))
+		ind.Fitness = r.Range(0, 100)
+		ind.Evaluated = true
+		pop.Members = append(pop.Members, ind)
+	}
+	return pop
+}
+
+// TestSelectorsProperty: every selector returns at most the requested
+// count, only evaluated clones, and never mutates the source population.
+func TestSelectorsProperty(t *testing.T) {
+	selectors := []Selector{SelectBest{}, SelectRandom{}, SelectTournament{K: 3}}
+	check := func(seed uint16, size, count uint8) bool {
+		n := int(size%20) + 1
+		k := int(count % 25)
+		r := rng.New(uint64(seed) + 11)
+		for _, sel := range selectors {
+			pop := randomPop(n, r)
+			before := make([]float64, n)
+			for i, ind := range pop.Members {
+				before[i] = ind.Fitness
+			}
+			out := sel.Pick(pop, core.Maximize, k, r)
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(out) != want {
+				return false
+			}
+			for _, m := range out {
+				if !m.Evaluated {
+					return false
+				}
+			}
+			for i, ind := range pop.Members {
+				if ind.Fitness != before[i] {
+					return false // selector mutated the population
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplacersProperty: every replacer keeps the population size
+// constant and never worsens the population best.
+func TestReplacersProperty(t *testing.T) {
+	replacers := []Replacer{ReplaceWorst{}, ReplaceWorstIfBetter{}, ReplaceRandom{}}
+	check := func(seed uint16, size, count uint8) bool {
+		n := int(size%20) + 2
+		k := int(count%5) + 1
+		r := rng.New(uint64(seed) + 13)
+		for _, rep := range replacers {
+			pop := randomPop(n, r)
+			bestBefore := pop.BestFitness(core.Maximize)
+			migrants := make([]*core.Individual, k)
+			for i := range migrants {
+				ind := core.NewIndividual(genome.RandomBitString(8, r))
+				ind.Fitness = r.Range(0, 100)
+				ind.Evaluated = true
+				migrants[i] = ind
+			}
+			// The incoming best might beat the local best.
+			incomingBest := bestBefore
+			for _, m := range migrants {
+				if m.Fitness > incomingBest {
+					incomingBest = m.Fitness
+				}
+			}
+			rep.Integrate(pop, core.Maximize, migrants, r)
+			if pop.Len() != n {
+				return false
+			}
+			after := pop.BestFitness(core.Maximize)
+			// Best never falls below the pre-migration best except via
+			// ReplaceWorst overwriting... ReplaceWorst targets the worst,
+			// never the best, and ReplaceRandom skips the best, so the
+			// population best can only stay or improve.
+			if after < bestBefore-1e-12 {
+				return false
+			}
+			if after > incomingBest+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package operators
+
+import (
+	"testing"
+
+	"pga/internal/genome"
+	"pga/internal/rng"
+)
+
+func TestERXClosure(t *testing.T) { permClosureCheck(t, ERX{}) }
+
+func TestERXPreservesSharedAdjacency(t *testing.T) {
+	// When both parents are the same tour, the child must reproduce it
+	// (up to rotation/reversal) because every edge has degree ≤ 2.
+	r := rng.New(7)
+	p := genome.RandomPermutation(12, r)
+	c1, _ := (ERX{}).Cross(p, p.Clone(), r)
+	child := c1.(*genome.Permutation)
+	// Check adjacency preservation: every consecutive child pair must be
+	// adjacent in the parent tour.
+	pos := make([]int, 12)
+	for i, v := range p.Perm {
+		pos[v] = i
+	}
+	adjacent := func(a, b int) bool {
+		d := pos[a] - pos[b]
+		if d < 0 {
+			d = -d
+		}
+		return d == 1 || d == 11
+	}
+	for i := 0; i < 12; i++ {
+		a, b := child.Perm[i], child.Perm[(i+1)%12]
+		if !adjacent(a, b) {
+			t.Fatalf("child edge (%d,%d) not in identical parents", a, b)
+		}
+	}
+}
+
+func TestERXInheritsMostEdgesFromParents(t *testing.T) {
+	r := rng.New(8)
+	inherited, total := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		a := genome.RandomPermutation(16, r)
+		b := genome.RandomPermutation(16, r)
+		edgeSet := map[[2]int]bool{}
+		add := func(p *genome.Permutation) {
+			n := p.Len()
+			for i, v := range p.Perm {
+				u := p.Perm[(i+1)%n]
+				lo, hi := v, u
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				edgeSet[[2]int{lo, hi}] = true
+			}
+		}
+		add(a)
+		add(b)
+		c, _ := (ERX{}).Cross(a, b, r)
+		child := c.(*genome.Permutation)
+		for i, v := range child.Perm {
+			u := child.Perm[(i+1)%16]
+			lo, hi := v, u
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			total++
+			if edgeSet[[2]int{lo, hi}] {
+				inherited++
+			}
+		}
+	}
+	frac := float64(inherited) / float64(total)
+	if frac < 0.85 {
+		t.Fatalf("ERX inherited only %.2f of edges from parents", frac)
+	}
+}
+
+func TestERXTiny(t *testing.T) {
+	r := rng.New(9)
+	a := genome.IdentityPermutation(1)
+	c1, c2 := (ERX{}).Cross(a, a.Clone(), r)
+	if c1.Len() != 1 || c2.Len() != 1 {
+		t.Fatal("1-city ERX broken")
+	}
+}
+
+func TestERXDeterministicPerSeed(t *testing.T) {
+	run := func() []int {
+		r := rng.New(10)
+		a := genome.RandomPermutation(14, r)
+		b := genome.RandomPermutation(14, r)
+		c, _ := (ERX{}).Cross(a, b, r)
+		return c.(*genome.Permutation).Perm
+	}
+	x, y := run(), run()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("ERX not deterministic")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package operators
+
+import "testing"
+
+func TestTakeoverCompletes(t *testing.T) {
+	for _, sel := range []Selector{Tournament{K: 2}, Tournament{K: 5}, LinearRank{SP: 2}, Truncation{Frac: 0.5}} {
+		tt := TakeoverTime(sel, 50, 5, 500, 1)
+		if tt <= 0 || tt >= 500 {
+			t.Fatalf("%s takeover time %v implausible", sel.Name(), tt)
+		}
+	}
+}
+
+func TestTakeoverPressureOrdering(t *testing.T) {
+	// Classic Goldberg & Deb ordering: higher tournament size and harder
+	// truncation take over faster.
+	t2 := TakeoverTime(Tournament{K: 2}, 64, 10, 1000, 2)
+	t5 := TakeoverTime(Tournament{K: 5}, 64, 10, 1000, 2)
+	if t5 >= t2 {
+		t.Fatalf("tournament(5)=%v not faster than tournament(2)=%v", t5, t2)
+	}
+	trHard := TakeoverTime(Truncation{Frac: 0.2}, 64, 10, 1000, 2)
+	trSoft := TakeoverTime(Truncation{Frac: 0.8}, 64, 10, 1000, 2)
+	if trHard >= trSoft {
+		t.Fatalf("truncation(0.2)=%v not faster than truncation(0.8)=%v", trHard, trSoft)
+	}
+}
+
+func TestTakeoverRandomNeverCompletes(t *testing.T) {
+	// Random selection has no pressure: expect the cap (drift could
+	// complete occasionally, but not reliably fast).
+	tt := TakeoverTime(Random{}, 64, 3, 60, 3)
+	if tt < 50 {
+		t.Fatalf("random selection took over suspiciously fast: %v", tt)
+	}
+}
+
+func TestTakeoverCurveMonotoneStart(t *testing.T) {
+	curve := TakeoverCurve(Tournament{K: 2}, 100, 500, 4)
+	if curve[0] != 0.01 {
+		t.Fatalf("initial proportion %v", curve[0])
+	}
+	if curve[len(curve)-1] != 1 {
+		t.Fatalf("curve did not reach takeover: %v", curve[len(curve)-1])
+	}
+	// Proportion can dip by drift but must broadly grow; check the end is
+	// above the middle.
+	if curve[len(curve)/2] >= 1 {
+		t.Fatal("takeover finished implausibly early")
+	}
+}
+
+func TestTakeoverBestSelectorInstant(t *testing.T) {
+	// Best always picks the single best: full takeover in one generation.
+	tt := TakeoverTime(Best{}, 32, 3, 10, 5)
+	if tt != 1 {
+		t.Fatalf("Best selector takeover %v, want 1", tt)
+	}
+}

@@ -1,0 +1,221 @@
+package persist
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/genome"
+	"pga/internal/operators"
+	"pga/internal/problems"
+	"pga/internal/rng"
+)
+
+func TestPopulationRoundTripAllGenomeTypes(t *testing.T) {
+	r := rng.New(1)
+	pop := core.NewPopulation(4)
+	for _, g := range []core.Genome{
+		genome.RandomBitString(16, r),
+		genome.RandomRealVector(5, -2, 3, r),
+		genome.RandomIntVector(6, 4, r),
+		genome.RandomPermutation(7, r),
+	} {
+		ind := core.NewIndividual(g)
+		ind.Fitness = r.Float64()
+		ind.Evaluated = true
+		pop.Members = append(pop.Members, ind)
+	}
+	data, err := MarshalPopulation(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPopulation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Fatalf("restored %d members", got.Len())
+	}
+	for i, ind := range got.Members {
+		orig := pop.Members[i]
+		if ind.Fitness != orig.Fitness || ind.Evaluated != orig.Evaluated {
+			t.Fatalf("member %d metadata mismatch", i)
+		}
+		if ind.Genome.String() != orig.Genome.String() {
+			t.Fatalf("member %d genome mismatch: %s vs %s", i, ind.Genome, orig.Genome)
+		}
+	}
+	// Restored real vector keeps bounds.
+	rv := got.Members[1].Genome.(*genome.RealVector)
+	if rv.Lo[0] != -2 || rv.Hi[0] != 3 {
+		t.Fatal("real vector bounds lost")
+	}
+}
+
+func TestUnmarshalRejectsCorruptPermutation(t *testing.T) {
+	bad := `{"members":[{"genome":{"type":"perm","perm":[0,0,1]},"fitness":0,"evaluated":true}]}`
+	if _, err := UnmarshalPopulation([]byte(bad)); err == nil {
+		t.Fatal("corrupt permutation accepted")
+	}
+}
+
+func TestUnmarshalRejectsUnknownType(t *testing.T) {
+	bad := `{"members":[{"genome":{"type":"quantum"},"fitness":0,"evaluated":true}]}`
+	if _, err := UnmarshalPopulation([]byte(bad)); err == nil {
+		t.Fatal("unknown genome type accepted")
+	}
+}
+
+func TestUnmarshalRejectsBoundsMismatch(t *testing.T) {
+	bad := `{"members":[{"genome":{"type":"real","genes":[1,2],"lo":[0],"hi":[5]},"fitness":0,"evaluated":true}]}`
+	if _, err := UnmarshalPopulation([]byte(bad)); err == nil {
+		t.Fatal("bounds mismatch accepted")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalPopulation([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := UnmarshalCheckpoint([]byte("{")); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+}
+
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := rng.New(7)
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	st := r.State()
+	want := make([]uint64, 20)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	r2 := rng.New(999) // different stream entirely
+	r2.SetState(st)
+	for i := range want {
+		if got := r2.Uint64(); got != want[i] {
+			t.Fatalf("restored stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSetStatePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	rng.New(1).SetState([5]uint64{0, 0, 0, 0, 9})
+}
+
+// TestExactResume is the package's headline guarantee: checkpoint a run
+// mid-flight, continue it, and separately restore the checkpoint into a
+// fresh engine — both must produce bit-identical results.
+func TestExactResume(t *testing.T) {
+	mkEngine := func(r *rng.Source) *ga.Generational {
+		return ga.NewGenerational(ga.Config{
+			Problem:   problems.OneMax{N: 64},
+			PopSize:   40,
+			Crossover: operators.Uniform{},
+			Mutator:   operators.BitFlip{},
+			RNG:       r,
+		})
+	}
+
+	// Original run: 10 steps, checkpoint, 10 more steps.
+	r1 := rng.New(42)
+	e1 := mkEngine(r1)
+	for i := 0; i < 10; i++ {
+		e1.Step()
+	}
+	cp, err := Capture(e1.Population(), r1, 10, e1.Evaluations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e1.Step()
+	}
+	wantBest := e1.Population().BestFitness(core.Maximize)
+	wantMean := e1.Population().MeanFitness()
+
+	// Resumed run: restore into a brand-new engine + stream.
+	cp2, err := UnmarshalCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Generation != 10 {
+		t.Fatalf("checkpoint generation %d", cp2.Generation)
+	}
+	// Construct the engine first — engine construction consumes the stream
+	// to build its (discarded) initial population — then load the
+	// checkpointed state into the same stream.
+	r2 := rng.New(0xDEAD)
+	e2 := mkEngine(r2)
+	pop, err := cp2.Restore(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.SetPopulation(pop)
+	for i := 0; i < 10; i++ {
+		e2.Step()
+	}
+	if got := e2.Population().BestFitness(core.Maximize); got != wantBest {
+		t.Fatalf("resumed best %v != original %v", got, wantBest)
+	}
+	if got := e2.Population().MeanFitness(); got != wantMean {
+		t.Fatalf("resumed mean %v != original %v", got, wantMean)
+	}
+}
+
+func TestSetPopulationValidation(t *testing.T) {
+	e := ga.NewGenerational(ga.Config{
+		Problem: problems.OneMax{N: 8}, PopSize: 10,
+		Mutator: operators.BitFlip{}, RNG: rng.New(1),
+	})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("size mismatch accepted")
+			}
+		}()
+		e.SetPopulation(core.NewPopulation(0))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unevaluated population accepted")
+			}
+		}()
+		pop := core.NewPopulation(10)
+		for i := 0; i < 10; i++ {
+			pop.Members = append(pop.Members, core.NewIndividual(genome.NewBitString(8)))
+		}
+		e.SetPopulation(pop)
+	}()
+}
+
+func TestCheckpointJSONStable(t *testing.T) {
+	r := rng.New(3)
+	pop := core.RandomPopulation(problems.OneMax{N: 8}, 3, r)
+	cp, err := Capture(pop, r, 5, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := cp.Marshal()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"population", "rngState", "generation", "evaluations"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("checkpoint JSON missing %q", key)
+		}
+	}
+}

@@ -1,0 +1,468 @@
+// Package problems implements the benchmark fitness functions used across
+// the experiment suite.
+//
+// The set deliberately covers the problem spectrum Alba & Troya (2000) used
+// to study migration policies — "easy, deceptive, multimodal, NP-Complete,
+// and epistatic search landscapes" — plus the classic real-valued test
+// functions of the parallel-GA literature (Mühlenbein 1991).
+package problems
+
+import (
+	"fmt"
+	"math"
+
+	"pga/internal/core"
+	"pga/internal/genome"
+	"pga/internal/rng"
+)
+
+// OneMax is the "easy" landscape: fitness is the number of one-bits.
+type OneMax struct {
+	// N is the genome length in bits.
+	N int
+}
+
+// Name implements core.Problem.
+func (p OneMax) Name() string { return fmt.Sprintf("onemax(%d)", p.N) }
+
+// Direction implements core.Problem.
+func (OneMax) Direction() core.Direction { return core.Maximize }
+
+// NewGenome implements core.Problem.
+func (p OneMax) NewGenome(r *rng.Source) core.Genome { return genome.RandomBitString(p.N, r) }
+
+// Evaluate implements core.Problem.
+func (p OneMax) Evaluate(g core.Genome) float64 {
+	return float64(g.(*genome.BitString).OnesCount())
+}
+
+// Optimum implements core.TargetAware.
+func (p OneMax) Optimum() float64 { return float64(p.N) }
+
+// Solved implements core.TargetAware.
+func (p OneMax) Solved(f float64) bool { return f >= float64(p.N) }
+
+// DeceptiveTrap is the "deceptive" landscape: the genome is split into
+// blocks of K bits; each block scores K for all-ones but rewards movement
+// toward all-zeros otherwise, so hill-climbing is pulled away from the
+// optimum (Goldberg's trap function).
+type DeceptiveTrap struct {
+	// Blocks is the number of trap blocks.
+	Blocks int
+	// K is the block size (classically 4 or 5).
+	K int
+}
+
+// Name implements core.Problem.
+func (p DeceptiveTrap) Name() string { return fmt.Sprintf("trap(%dx%d)", p.Blocks, p.K) }
+
+// Direction implements core.Problem.
+func (DeceptiveTrap) Direction() core.Direction { return core.Maximize }
+
+// NewGenome implements core.Problem.
+func (p DeceptiveTrap) NewGenome(r *rng.Source) core.Genome {
+	return genome.RandomBitString(p.Blocks*p.K, r)
+}
+
+// Evaluate implements core.Problem.
+func (p DeceptiveTrap) Evaluate(g core.Genome) float64 {
+	b := g.(*genome.BitString)
+	total := 0.0
+	for blk := 0; blk < p.Blocks; blk++ {
+		ones := 0
+		for i := blk * p.K; i < (blk+1)*p.K; i++ {
+			if b.Bits[i] {
+				ones++
+			}
+		}
+		if ones == p.K {
+			total += float64(p.K)
+		} else {
+			total += float64(p.K - 1 - ones)
+		}
+	}
+	return total
+}
+
+// Optimum implements core.TargetAware.
+func (p DeceptiveTrap) Optimum() float64 { return float64(p.Blocks * p.K) }
+
+// Solved implements core.TargetAware.
+func (p DeceptiveTrap) Solved(f float64) bool { return f >= p.Optimum() }
+
+// MMDP is the Massively Multimodal Deceptive Problem: 6-bit blocks scored
+// by a bimodal deceptive subfunction whose maxima are all-zeros and
+// all-ones (unitation 0 or 6 → 1.0).
+type MMDP struct {
+	// Blocks is the number of 6-bit blocks.
+	Blocks int
+}
+
+// mmdpScore maps block unitation (0..6) to its fitness contribution.
+var mmdpScore = [7]float64{1.0, 0.0, 0.360384, 0.640576, 0.360384, 0.0, 1.0}
+
+// Name implements core.Problem.
+func (p MMDP) Name() string { return fmt.Sprintf("mmdp(%d)", p.Blocks) }
+
+// Direction implements core.Problem.
+func (MMDP) Direction() core.Direction { return core.Maximize }
+
+// NewGenome implements core.Problem.
+func (p MMDP) NewGenome(r *rng.Source) core.Genome {
+	return genome.RandomBitString(p.Blocks*6, r)
+}
+
+// Evaluate implements core.Problem.
+func (p MMDP) Evaluate(g core.Genome) float64 {
+	b := g.(*genome.BitString)
+	total := 0.0
+	for blk := 0; blk < p.Blocks; blk++ {
+		ones := 0
+		for i := blk * 6; i < (blk+1)*6; i++ {
+			if b.Bits[i] {
+				ones++
+			}
+		}
+		total += mmdpScore[ones]
+	}
+	return total
+}
+
+// Optimum implements core.TargetAware.
+func (p MMDP) Optimum() float64 { return float64(p.Blocks) }
+
+// Solved implements core.TargetAware.
+func (p MMDP) Solved(f float64) bool { return f >= p.Optimum()-1e-9 }
+
+// PPeaks is the P-PEAKS multimodal problem generator (De Jong): P random
+// N-bit peaks; fitness is the maximum normalised closeness to any peak.
+type PPeaks struct {
+	peaks []*genome.BitString
+	n     int
+}
+
+// NewPPeaks creates a P-PEAKS instance with p peaks of n bits drawn from
+// seed.
+func NewPPeaks(p, n int, seed uint64) *PPeaks {
+	r := rng.New(seed)
+	peaks := make([]*genome.BitString, p)
+	for i := range peaks {
+		peaks[i] = genome.RandomBitString(n, r)
+	}
+	return &PPeaks{peaks: peaks, n: n}
+}
+
+// Name implements core.Problem.
+func (p *PPeaks) Name() string { return fmt.Sprintf("p-peaks(%dx%d)", len(p.peaks), p.n) }
+
+// Direction implements core.Problem.
+func (*PPeaks) Direction() core.Direction { return core.Maximize }
+
+// NewGenome implements core.Problem.
+func (p *PPeaks) NewGenome(r *rng.Source) core.Genome { return genome.RandomBitString(p.n, r) }
+
+// Evaluate implements core.Problem.
+func (p *PPeaks) Evaluate(g core.Genome) float64 {
+	b := g.(*genome.BitString)
+	best := 0
+	for _, peak := range p.peaks {
+		match := p.n - b.Hamming(peak)
+		if match > best {
+			best = match
+		}
+	}
+	return float64(best) / float64(p.n)
+}
+
+// Optimum implements core.TargetAware.
+func (*PPeaks) Optimum() float64 { return 1.0 }
+
+// Solved implements core.TargetAware.
+func (*PPeaks) Solved(f float64) bool { return f >= 1.0-1e-12 }
+
+// RoyalRoad is Mitchell's Royal Road R1: the genome is divided into
+// consecutive blocks; a block contributes its length only when entirely
+// ones. Rewards building-block assembly — the schema-processing story the
+// survey's §2 reviews.
+type RoyalRoad struct {
+	// Blocks is the number of blocks.
+	Blocks int
+	// K is the block length in bits (classically 8).
+	K int
+}
+
+// Name implements core.Problem.
+func (p RoyalRoad) Name() string { return fmt.Sprintf("royalroad(%dx%d)", p.Blocks, p.K) }
+
+// Direction implements core.Problem.
+func (RoyalRoad) Direction() core.Direction { return core.Maximize }
+
+// NewGenome implements core.Problem.
+func (p RoyalRoad) NewGenome(r *rng.Source) core.Genome {
+	return genome.RandomBitString(p.Blocks*p.K, r)
+}
+
+// Evaluate implements core.Problem.
+func (p RoyalRoad) Evaluate(g core.Genome) float64 {
+	b := g.(*genome.BitString)
+	total := 0.0
+	for blk := 0; blk < p.Blocks; blk++ {
+		full := true
+		for i := blk * p.K; i < (blk+1)*p.K; i++ {
+			if !b.Bits[i] {
+				full = false
+				break
+			}
+		}
+		if full {
+			total += float64(p.K)
+		}
+	}
+	return total
+}
+
+// Optimum implements core.TargetAware.
+func (p RoyalRoad) Optimum() float64 { return float64(p.Blocks * p.K) }
+
+// Solved implements core.TargetAware.
+func (p RoyalRoad) Solved(f float64) bool { return f >= p.Optimum() }
+
+// NKLandscape is Kauffman's NK model — the "epistatic" landscape. Gene i's
+// contribution depends on itself and K random other genes through a random
+// contribution table.
+type NKLandscape struct {
+	n, k  int
+	links [][]int     // links[i] = the K+1 loci feeding gene i's table
+	table [][]float64 // table[i][pattern] = contribution
+	// maxSeen tracks no global optimum: NK optima are NP-hard to find, so
+	// the problem is not TargetAware.
+}
+
+// NewNKLandscape creates an NK instance with n genes, k epistatic links per
+// gene, drawn from seed.
+func NewNKLandscape(n, k int, seed uint64) *NKLandscape {
+	if k >= n {
+		panic("problems: NK requires k < n")
+	}
+	r := rng.New(seed)
+	links := make([][]int, n)
+	table := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		links[i] = make([]int, 0, k+1)
+		links[i] = append(links[i], i)
+		// k distinct other loci.
+		for _, j := range r.Sample(n-1, k) {
+			if j >= i {
+				j++
+			}
+			links[i] = append(links[i], j)
+		}
+		table[i] = make([]float64, 1<<uint(k+1))
+		for p := range table[i] {
+			table[i][p] = r.Float64()
+		}
+	}
+	return &NKLandscape{n: n, k: k, links: links, table: table}
+}
+
+// Name implements core.Problem.
+func (p *NKLandscape) Name() string { return fmt.Sprintf("nk(%d,%d)", p.n, p.k) }
+
+// Direction implements core.Problem.
+func (*NKLandscape) Direction() core.Direction { return core.Maximize }
+
+// NewGenome implements core.Problem.
+func (p *NKLandscape) NewGenome(r *rng.Source) core.Genome { return genome.RandomBitString(p.n, r) }
+
+// Evaluate implements core.Problem.
+func (p *NKLandscape) Evaluate(g core.Genome) float64 {
+	b := g.(*genome.BitString)
+	total := 0.0
+	for i := 0; i < p.n; i++ {
+		pattern := 0
+		for _, j := range p.links[i] {
+			pattern <<= 1
+			if b.Bits[j] {
+				pattern |= 1
+			}
+		}
+		total += p.table[i][pattern]
+	}
+	return total / float64(p.n)
+}
+
+// SubsetSum is the NP-complete landscape used by the DREAM project tests
+// reviewed in §4: choose a subset of weights summing to a target. Fitness
+// is -|sum−target| (maximised, optimum 0).
+type SubsetSum struct {
+	weights []int64
+	target  int64
+}
+
+// NewSubsetSum creates an instance with n weights drawn from seed; a random
+// half-size subset defines the target, so a perfect solution exists.
+func NewSubsetSum(n int, seed uint64) *SubsetSum {
+	r := rng.New(seed)
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(r.Intn(10000) + 1)
+	}
+	var target int64
+	for _, i := range r.Sample(n, n/2) {
+		target += w[i]
+	}
+	return &SubsetSum{weights: w, target: target}
+}
+
+// Name implements core.Problem.
+func (p *SubsetSum) Name() string { return fmt.Sprintf("subsetsum(%d)", len(p.weights)) }
+
+// Direction implements core.Problem.
+func (*SubsetSum) Direction() core.Direction { return core.Maximize }
+
+// NewGenome implements core.Problem.
+func (p *SubsetSum) NewGenome(r *rng.Source) core.Genome {
+	return genome.RandomBitString(len(p.weights), r)
+}
+
+// Evaluate implements core.Problem.
+func (p *SubsetSum) Evaluate(g core.Genome) float64 {
+	b := g.(*genome.BitString)
+	var sum int64
+	for i, bit := range b.Bits {
+		if bit {
+			sum += p.weights[i]
+		}
+	}
+	d := sum - p.target
+	if d < 0 {
+		d = -d
+	}
+	return -float64(d)
+}
+
+// Optimum implements core.TargetAware.
+func (*SubsetSum) Optimum() float64 { return 0 }
+
+// Solved implements core.TargetAware.
+func (*SubsetSum) Solved(f float64) bool { return f >= 0 }
+
+// Target returns the instance's target sum (for reporting).
+func (p *SubsetSum) Target() int64 { return p.target }
+
+// Knapsack is the 0/1 knapsack with a penalty for overweight solutions.
+type Knapsack struct {
+	values, weights []float64
+	capacity        float64
+}
+
+// NewKnapsack creates an n-item instance from seed with capacity equal to
+// half the total weight (the standard hard regime).
+func NewKnapsack(n int, seed uint64) *Knapsack {
+	r := rng.New(seed)
+	v := make([]float64, n)
+	w := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		v[i] = float64(r.Intn(100) + 1)
+		w[i] = float64(r.Intn(100) + 1)
+		total += w[i]
+	}
+	return &Knapsack{values: v, weights: w, capacity: total / 2}
+}
+
+// Name implements core.Problem.
+func (p *Knapsack) Name() string { return fmt.Sprintf("knapsack(%d)", len(p.values)) }
+
+// Direction implements core.Problem.
+func (*Knapsack) Direction() core.Direction { return core.Maximize }
+
+// NewGenome implements core.Problem.
+func (p *Knapsack) NewGenome(r *rng.Source) core.Genome {
+	return genome.RandomBitString(len(p.values), r)
+}
+
+// Evaluate implements core.Problem. Overweight solutions are penalised
+// proportionally to the excess (graded penalty keeps the landscape
+// searchable).
+func (p *Knapsack) Evaluate(g core.Genome) float64 {
+	b := g.(*genome.BitString)
+	var value, weight float64
+	for i, bit := range b.Bits {
+		if bit {
+			value += p.values[i]
+			weight += p.weights[i]
+		}
+	}
+	if weight > p.capacity {
+		return value - 10*(weight-p.capacity)
+	}
+	return value
+}
+
+// Capacity returns the instance capacity (for reporting).
+func (p *Knapsack) Capacity() float64 { return p.capacity }
+
+// MaxSAT is a random 3-SAT maximisation instance: fitness is the fraction
+// of satisfied clauses.
+type MaxSAT struct {
+	nvars   int
+	clauses [][3]int // literal = var+1 or -(var+1)
+}
+
+// NewMaxSAT creates an instance with n variables and m random 3-literal
+// clauses drawn from seed.
+func NewMaxSAT(n, m int, seed uint64) *MaxSAT {
+	r := rng.New(seed)
+	cl := make([][3]int, m)
+	for i := range cl {
+		vars := r.Sample(n, 3)
+		for j := 0; j < 3; j++ {
+			lit := vars[j] + 1
+			if r.Bool() {
+				lit = -lit
+			}
+			cl[i][j] = lit
+		}
+	}
+	return &MaxSAT{nvars: n, clauses: cl}
+}
+
+// Name implements core.Problem.
+func (p *MaxSAT) Name() string { return fmt.Sprintf("maxsat(%d,%d)", p.nvars, len(p.clauses)) }
+
+// Direction implements core.Problem.
+func (*MaxSAT) Direction() core.Direction { return core.Maximize }
+
+// NewGenome implements core.Problem.
+func (p *MaxSAT) NewGenome(r *rng.Source) core.Genome {
+	return genome.RandomBitString(p.nvars, r)
+}
+
+// Evaluate implements core.Problem.
+func (p *MaxSAT) Evaluate(g core.Genome) float64 {
+	b := g.(*genome.BitString)
+	sat := 0
+	for _, c := range p.clauses {
+		for _, lit := range c {
+			v := lit
+			neg := false
+			if v < 0 {
+				v, neg = -v, true
+			}
+			if b.Bits[v-1] != neg {
+				sat++
+				break
+			}
+		}
+	}
+	return float64(sat) / float64(len(p.clauses))
+}
+
+// sphereWarning guards against NaN leaking out of any Evaluate.
+func finite(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic("problems: non-finite fitness")
+	}
+	return f
+}

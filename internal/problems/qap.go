@@ -1,0 +1,102 @@
+package problems
+
+import (
+	"fmt"
+
+	"pga/internal/core"
+	"pga/internal/genome"
+	"pga/internal/rng"
+)
+
+// QAP is the quadratic assignment problem — assign n facilities to n
+// locations minimising Σ flow(i,j)·dist(π(i),π(j)) — the classic
+// NP-complete permutation benchmark alongside TSP in the §4 problem list.
+// The synthetic instance places locations on a grid and draws sparse
+// random flows.
+type QAP struct {
+	n    int
+	flow [][]float64
+	dist [][]float64
+}
+
+// NewQAP creates an n-facility instance drawn from seed: locations on a
+// √n×√n-ish grid with Manhattan distances, flows sparse uniform.
+func NewQAP(n int, seed uint64) *QAP {
+	r := rng.New(seed)
+	q := &QAP{n: n}
+	// Grid coordinates for locations.
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	xs := make([]int, n)
+	ys := make([]int, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = i%cols, i/cols
+	}
+	q.dist = make([][]float64, n)
+	q.flow = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		q.dist[i] = make([]float64, n)
+		q.flow[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			q.dist[i][j] = float64(dx + dy)
+		}
+	}
+	// Sparse symmetric flows: ~25% of pairs carry traffic, plus a base
+	// flow cycle so every facility matters (no degenerate don't-care
+	// facilities).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Chance(0.25) {
+				f := float64(r.Intn(10) + 1)
+				q.flow[i][j] = f
+				q.flow[j][i] = f
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if q.flow[i][j] == 0 {
+			f := float64(r.Intn(5) + 1)
+			q.flow[i][j] = f
+			q.flow[j][i] = f
+		}
+	}
+	return q
+}
+
+// Name implements core.Problem.
+func (q *QAP) Name() string { return fmt.Sprintf("qap(%d)", q.n) }
+
+// Direction implements core.Problem.
+func (*QAP) Direction() core.Direction { return core.Minimize }
+
+// NewGenome implements core.Problem: π maps facility → location.
+func (q *QAP) NewGenome(r *rng.Source) core.Genome {
+	return genome.RandomPermutation(q.n, r)
+}
+
+// Evaluate implements core.Problem.
+func (q *QAP) Evaluate(g core.Genome) float64 {
+	p := g.(*genome.Permutation).Perm
+	total := 0.0
+	for i := 0; i < q.n; i++ {
+		fi := q.flow[i]
+		for j := i + 1; j < q.n; j++ {
+			if f := fi[j]; f != 0 {
+				total += 2 * f * q.dist[p[i]][p[j]]
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,242 @@
+package problems
+
+import (
+	"fmt"
+	"math"
+
+	"pga/internal/core"
+	"pga/internal/genome"
+	"pga/internal/rng"
+)
+
+// RealFunc is a real-valued minimisation benchmark defined by a closure
+// over a gene slice, with homogeneous bounds. All the classic test
+// functions of the parallel-GA literature (Mühlenbein, Schomisch & Born
+// 1991 used Rastrigin, Schwefel and Griewank to show PGA function
+// optimisation) are instances of this type.
+type RealFunc struct {
+	// Label names the function, e.g. "rastrigin".
+	Label string
+	// Dim is the dimensionality.
+	Dim int
+	// Lo and Hi bound every coordinate.
+	Lo, Hi float64
+	// F computes the objective value (minimised).
+	F func(x []float64) float64
+	// Opt is the known global minimum value.
+	Opt float64
+	// Tol is the tolerance within which the problem counts as solved.
+	Tol float64
+}
+
+// Name implements core.Problem.
+func (p *RealFunc) Name() string { return fmt.Sprintf("%s(%d)", p.Label, p.Dim) }
+
+// Direction implements core.Problem.
+func (*RealFunc) Direction() core.Direction { return core.Minimize }
+
+// NewGenome implements core.Problem.
+func (p *RealFunc) NewGenome(r *rng.Source) core.Genome {
+	return genome.RandomRealVector(p.Dim, p.Lo, p.Hi, r)
+}
+
+// Evaluate implements core.Problem.
+func (p *RealFunc) Evaluate(g core.Genome) float64 {
+	return finite(p.F(g.(*genome.RealVector).Genes))
+}
+
+// Optimum implements core.TargetAware.
+func (p *RealFunc) Optimum() float64 { return p.Opt }
+
+// Solved implements core.TargetAware.
+func (p *RealFunc) Solved(f float64) bool { return f <= p.Opt+p.Tol }
+
+// Sphere returns the unimodal sphere function Σx² on [-5.12, 5.12]^dim.
+func Sphere(dim int) *RealFunc {
+	return &RealFunc{
+		Label: "sphere", Dim: dim, Lo: -5.12, Hi: 5.12, Opt: 0, Tol: 1e-3,
+		F: func(x []float64) float64 {
+			s := 0.0
+			for _, v := range x {
+				s += v * v
+			}
+			return s
+		},
+	}
+}
+
+// Rastrigin returns the highly multimodal Rastrigin function on
+// [-5.12, 5.12]^dim.
+func Rastrigin(dim int) *RealFunc {
+	return &RealFunc{
+		Label: "rastrigin", Dim: dim, Lo: -5.12, Hi: 5.12, Opt: 0, Tol: 1e-2,
+		F: func(x []float64) float64 {
+			s := 10 * float64(len(x))
+			for _, v := range x {
+				s += v*v - 10*math.Cos(2*math.Pi*v)
+			}
+			return s
+		},
+	}
+}
+
+// Rosenbrock returns the banana-valley Rosenbrock function on [-2.048,
+// 2.048]^dim (unimodal but ill-conditioned).
+func Rosenbrock(dim int) *RealFunc {
+	return &RealFunc{
+		Label: "rosenbrock", Dim: dim, Lo: -2.048, Hi: 2.048, Opt: 0, Tol: 1e-2,
+		F: func(x []float64) float64 {
+			s := 0.0
+			for i := 0; i+1 < len(x); i++ {
+				a := x[i+1] - x[i]*x[i]
+				b := 1 - x[i]
+				s += 100*a*a + b*b
+			}
+			return s
+		},
+	}
+}
+
+// Ackley returns the Ackley function on [-32.768, 32.768]^dim.
+func Ackley(dim int) *RealFunc {
+	return &RealFunc{
+		Label: "ackley", Dim: dim, Lo: -32.768, Hi: 32.768, Opt: 0, Tol: 1e-2,
+		F: func(x []float64) float64 {
+			n := float64(len(x))
+			var sq, cs float64
+			for _, v := range x {
+				sq += v * v
+				cs += math.Cos(2 * math.Pi * v)
+			}
+			return -20*math.Exp(-0.2*math.Sqrt(sq/n)) - math.Exp(cs/n) + 20 + math.E
+		},
+	}
+}
+
+// Griewank returns the Griewank function on [-600, 600]^dim.
+func Griewank(dim int) *RealFunc {
+	return &RealFunc{
+		Label: "griewank", Dim: dim, Lo: -600, Hi: 600, Opt: 0, Tol: 1e-2,
+		F: func(x []float64) float64 {
+			sum := 0.0
+			prod := 1.0
+			for i, v := range x {
+				sum += v * v / 4000
+				prod *= math.Cos(v / math.Sqrt(float64(i+1)))
+			}
+			return sum - prod + 1
+		},
+	}
+}
+
+// Schwefel returns Schwefel's function on [-500, 500]^dim, whose global
+// minimum (x_i = 420.9687) sits far from the second-best, defeating purely
+// local search.
+func Schwefel(dim int) *RealFunc {
+	return &RealFunc{
+		Label: "schwefel", Dim: dim, Lo: -500, Hi: 500, Opt: 0, Tol: 1.0,
+		F: func(x []float64) float64 {
+			s := 0.0
+			for _, v := range x {
+				s += v * math.Sin(math.Sqrt(math.Abs(v)))
+			}
+			return 418.9829*float64(len(x)) - s
+		},
+	}
+}
+
+// Step returns De Jong's step function F3 on [-5.12, 5.12]^dim: the sum
+// of floors, a plateau landscape with no local gradient information.
+// Minimum value is -6·dim (every coordinate in [-5.12, -5)... floor -6).
+func Step(dim int) *RealFunc {
+	return &RealFunc{
+		Label: "step", Dim: dim, Lo: -5.12, Hi: 5.12, Opt: -6 * float64(dim), Tol: 0,
+		F: func(x []float64) float64 {
+			s := 0.0
+			for _, v := range x {
+				s += math.Floor(v)
+			}
+			return s
+		},
+	}
+}
+
+// Foxholes returns Shekel's foxholes (De Jong F5), the classic 2-D
+// multimodal function with 25 narrow wells on [-65.536, 65.536]²; the
+// global minimum (~0.998) sits in the well at (-32, -32).
+func Foxholes() *RealFunc {
+	var a [2][25]float64
+	offsets := []float64{-32, -16, 0, 16, 32}
+	for j := 0; j < 25; j++ {
+		a[0][j] = offsets[j%5]
+		a[1][j] = offsets[j/5]
+	}
+	return &RealFunc{
+		Label: "foxholes", Dim: 2, Lo: -65.536, Hi: 65.536, Opt: 0.998, Tol: 0.01,
+		F: func(x []float64) float64 {
+			sum := 1.0 / 500.0
+			for j := 0; j < 25; j++ {
+				den := float64(j + 1)
+				for i := 0; i < 2; i++ {
+					d := x[i] - a[i][j]
+					den += d * d * d * d * d * d
+				}
+				sum += 1 / den
+			}
+			return 1 / sum
+		},
+	}
+}
+
+// BinaryEncoded wraps a real-valued problem with a fixed-point binary
+// encoding of BitsPerVar bits per coordinate (optionally Gray-coded).
+// It turns any RealFunc into a binary-GA problem — the representation
+// ablation of the classic literature.
+type BinaryEncoded struct {
+	// Inner is the wrapped real-valued problem.
+	Inner *RealFunc
+	// BitsPerVar is the number of bits encoding each coordinate.
+	BitsPerVar int
+	// Gray selects Gray decoding instead of plain binary.
+	Gray bool
+}
+
+// Name implements core.Problem.
+func (p *BinaryEncoded) Name() string {
+	enc := "bin"
+	if p.Gray {
+		enc = "gray"
+	}
+	return fmt.Sprintf("%s-%s%d", p.Inner.Name(), enc, p.BitsPerVar)
+}
+
+// Direction implements core.Problem.
+func (p *BinaryEncoded) Direction() core.Direction { return core.Minimize }
+
+// NewGenome implements core.Problem.
+func (p *BinaryEncoded) NewGenome(r *rng.Source) core.Genome {
+	return genome.RandomBitString(p.Inner.Dim*p.BitsPerVar, r)
+}
+
+// Decode maps a bit string to the encoded coordinate vector.
+func (p *BinaryEncoded) Decode(b *genome.BitString) []float64 {
+	x := make([]float64, p.Inner.Dim)
+	for i := range x {
+		lo := i * p.BitsPerVar
+		x[i] = b.DecodeReal(lo, lo+p.BitsPerVar, p.Inner.Lo, p.Inner.Hi, p.Gray)
+	}
+	return x
+}
+
+// Evaluate implements core.Problem.
+func (p *BinaryEncoded) Evaluate(g core.Genome) float64 {
+	return finite(p.Inner.F(p.Decode(g.(*genome.BitString))))
+}
+
+// Optimum implements core.TargetAware.
+func (p *BinaryEncoded) Optimum() float64 { return p.Inner.Opt }
+
+// Solved implements core.TargetAware. The quantisation of the encoding
+// usually cannot hit the continuous optimum exactly, so the tolerance is
+// scaled up relative to the inner problem.
+func (p *BinaryEncoded) Solved(f float64) bool { return f <= p.Inner.Opt+10*p.Inner.Tol }

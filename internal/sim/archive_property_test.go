@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pga/internal/genome"
+	"pga/internal/rng"
+)
+
+// TestArchiveMutualNonDominanceProperty: after any sequence of random
+// insertions, no archived item dominates another and the size never
+// exceeds the cap — the defining invariants of a Pareto archive.
+func TestArchiveMutualNonDominanceProperty(t *testing.T) {
+	check := func(seed uint16, nAdds uint8, capRaw uint8) bool {
+		r := rng.New(uint64(seed) + 17)
+		cap := int(capRaw%20) + 1
+		a := NewArchive(cap)
+		adds := int(nAdds%60) + 1
+		for i := 0; i < adds; i++ {
+			g := genome.RandomRealVector(1, 0, 1, r)
+			objs := []float64{r.Range(0, 10), r.Range(0, 10)}
+			a.Add(g, objs)
+		}
+		if a.Len() > cap {
+			return false
+		}
+		items := a.Items()
+		for i := range items {
+			for j := range items {
+				if i != j && Dominates(items[i].Objectives, items[j].Objectives) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHypervolumeMonotoneProperty: adding a non-dominated point never
+// decreases the hypervolume.
+func TestHypervolumeMonotoneProperty(t *testing.T) {
+	check := func(seed uint16) bool {
+		r := rng.New(uint64(seed) + 23)
+		ref := [2]float64{10, 10}
+		var pts [][]float64
+		prev := 0.0
+		for i := 0; i < 20; i++ {
+			pts = append(pts, []float64{r.Range(0, 10), r.Range(0, 10)})
+			hv := Hypervolume2D(pts, ref)
+			if hv < prev-1e-12 {
+				return false
+			}
+			prev = hv
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"pga/internal/core"
+	"pga/internal/genome"
+	"pga/internal/rng"
+)
+
+func popOf(gs ...core.Genome) *core.Population {
+	p := core.NewPopulation(len(gs))
+	for _, g := range gs {
+		ind := core.NewIndividual(g)
+		ind.Evaluated = true
+		p.Members = append(p.Members, ind)
+	}
+	return p
+}
+
+func TestDiversityEmptyAndSingleton(t *testing.T) {
+	if Diversity(core.NewPopulation(0)) != 0 {
+		t.Fatal("empty diversity not 0")
+	}
+	if Diversity(popOf(genome.NewBitString(8))) != 0 {
+		t.Fatal("singleton diversity not 0")
+	}
+}
+
+func TestBitDiversityConverged(t *testing.T) {
+	a := genome.NewBitString(16)
+	b := a.Clone()
+	if d := Diversity(popOf(a, b, a.Clone(), b.Clone())); d != 0 {
+		t.Fatalf("identical population diversity %v", d)
+	}
+}
+
+func TestBitDiversityOpposite(t *testing.T) {
+	a := genome.NewBitString(16)
+	b := genome.NewBitString(16)
+	for i := range b.Bits {
+		b.Bits[i] = true
+	}
+	// Two opposite strings: every pair disagrees everywhere → 1.0.
+	if d := Diversity(popOf(a, b)); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("opposite-pair diversity %v, want 1", d)
+	}
+}
+
+func TestBitDiversityRandomNearHalf(t *testing.T) {
+	r := rng.New(1)
+	pop := core.NewPopulation(50)
+	for i := 0; i < 50; i++ {
+		ind := core.NewIndividual(genome.RandomBitString(128, r))
+		pop.Members = append(pop.Members, ind)
+	}
+	d := Diversity(pop)
+	if d < 0.45 || d > 0.55 {
+		t.Fatalf("random population diversity %v, want ≈0.5", d)
+	}
+}
+
+func TestRealDiversity(t *testing.T) {
+	same := genome.NewRealVector(4, -1, 1)
+	if d := Diversity(popOf(same, same.Clone(), same.Clone())); d != 0 {
+		t.Fatal("identical real population diversity not 0")
+	}
+	r := rng.New(2)
+	pop := core.NewPopulation(50)
+	for i := 0; i < 50; i++ {
+		pop.Members = append(pop.Members, core.NewIndividual(genome.RandomRealVector(8, -1, 1, r)))
+	}
+	d := Diversity(pop)
+	// Uniform on [-1,1]: std = 2/sqrt(12) ≈ 0.577; normalised by span 2 ≈ 0.289.
+	if d < 0.2 || d > 0.4 {
+		t.Fatalf("uniform real diversity %v, want ≈0.29", d)
+	}
+}
+
+func TestPermDiversity(t *testing.T) {
+	a := genome.IdentityPermutation(8)
+	if d := Diversity(popOf(a, a.Clone())); d != 0 {
+		t.Fatal("identical permutations diversity not 0")
+	}
+	r := rng.New(3)
+	pop := core.NewPopulation(20)
+	for i := 0; i < 20; i++ {
+		pop.Members = append(pop.Members, core.NewIndividual(genome.RandomPermutation(12, r)))
+	}
+	d := Diversity(pop)
+	if d < 0.7 { // random permutations disagree at ~(1 - 1/n) of positions
+		t.Fatalf("random permutation diversity %v, want >0.7", d)
+	}
+}
+
+func TestIntDiversity(t *testing.T) {
+	same := genome.NewIntVector(6, 4)
+	if d := Diversity(popOf(same, same.Clone(), same.Clone())); d != 0 {
+		t.Fatal("identical int population diversity not 0")
+	}
+	r := rng.New(4)
+	pop := core.NewPopulation(40)
+	for i := 0; i < 40; i++ {
+		pop.Members = append(pop.Members, core.NewIndividual(genome.RandomIntVector(10, 4, r)))
+	}
+	d := Diversity(pop)
+	// Random card-4 genes: modal frequency ≈ 0.25–0.35 → diversity ≈ 0.65–0.75.
+	if d < 0.55 || d > 0.8 {
+		t.Fatalf("random int diversity %v", d)
+	}
+}
+
+func TestDiversityDecreasesUnderSelection(t *testing.T) {
+	// A converging GA's diversity must fall over time.
+	r := rng.New(5)
+	pop := core.NewPopulation(30)
+	for i := 0; i < 30; i++ {
+		pop.Members = append(pop.Members, core.NewIndividual(genome.RandomBitString(32, r)))
+	}
+	before := Diversity(pop)
+	// Simulate convergence: replace half the population with copies of one.
+	for i := 1; i < 15; i++ {
+		pop.Members[i] = pop.Members[0].Clone()
+	}
+	after := Diversity(pop)
+	if after >= before {
+		t.Fatalf("diversity did not fall: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,471 @@
+// Package pga is a parallel genetic algorithms library for Go.
+//
+// It implements the full taxonomy of parallel GA models surveyed in
+// Konfršt, "Parallel Genetic Algorithms: Advances, Computing Trends,
+// Applications and Perspectives" (IPPS 2004):
+//
+//   - sequential baselines: generational (with generation gap) and
+//     steady-state GAs (NewGenerational, NewSteadyState);
+//   - the global master–slave model: parallel fitness evaluation with
+//     fault tolerance (NewFarm);
+//   - the coarse-grained island model: goroutine-per-deme evolution with
+//     channel-based migration over configurable topologies (NewIslands);
+//   - the fine-grained cellular model: toroidal grids with synchronous and
+//     asynchronous update policies (NewCellular);
+//   - the shared-memory global model with fully parallel reproduction
+//     (NewParallelGenerational — Bethke/Grefenstette);
+//   - the hierarchical multi-fidelity model of Sefrioui & Périaux
+//     (NewHGA);
+//   - the specialized island model of Xiao & Armstrong for multi-objective
+//     problems (RunSIM);
+//   - a DREAM-style peer-to-peer gossip overlay with node churn (NewP2P).
+//
+// Long runs checkpoint and resume exactly (CaptureCheckpoint /
+// LoadCheckpoint): a restored run is bit-identical to an uninterrupted
+// one.
+//
+// The library is deterministic: every run is reproducible from its seed,
+// including parallel island runs in synchronous mode (asynchronous
+// migration is the only scheduling-dependent mode, as in the systems the
+// survey reviews).
+//
+// A minimal island-model run:
+//
+//	prob := pga.OneMax(128)
+//	res := pga.NewIslands(pga.IslandConfig{
+//		Demes:    8,
+//		Topology: pga.Ring,
+//		GA: pga.GAConfig{
+//			Problem:   prob,
+//			PopSize:   50,
+//			Crossover: pga.UniformCrossover{},
+//			Mutator:   pga.BitFlip{},
+//		},
+//		Migration: pga.Migration{Interval: 10, Count: 2},
+//		Seed:      42,
+//	}).RunSequential(pga.AnyOf{
+//		pga.MaxGenerations(500),
+//		pga.Target(prob),
+//	}, false)
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// mapping between packages and the surveyed literature.
+package pga
+
+import (
+	"pga/internal/cellular"
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/genome"
+	"pga/internal/hga"
+	"pga/internal/island"
+	"pga/internal/masterslave"
+	"pga/internal/migration"
+	"pga/internal/operators"
+	"pga/internal/p2p"
+	"pga/internal/persist"
+	"pga/internal/problems"
+	"pga/internal/rng"
+	"pga/internal/sim"
+	"pga/internal/topology"
+)
+
+// Core abstractions.
+type (
+	// Problem is an optimisation problem: genome factory plus fitness.
+	Problem = core.Problem
+	// Genome is an encoded candidate solution.
+	Genome = core.Genome
+	// Individual pairs a genome with its fitness.
+	Individual = core.Individual
+	// Population is an ordered set of individuals (a deme).
+	Population = core.Population
+	// Direction states whether fitness is maximised or minimised.
+	Direction = core.Direction
+	// Result summarises a sequential run.
+	Result = core.Result
+	// Status is the per-step snapshot passed to stop conditions.
+	Status = core.Status
+	// StopCondition terminates runs.
+	StopCondition = core.StopCondition
+	// RNG is the library's deterministic splittable random source.
+	RNG = rng.Source
+)
+
+// Fitness directions.
+const (
+	Maximize = core.Maximize
+	Minimize = core.Minimize
+)
+
+// NewRNG returns a deterministic random source seeded with seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Stop conditions.
+type (
+	// MaxGenerations stops after N steps.
+	MaxGenerations = core.MaxGenerations
+	// MaxEvaluations stops after N fitness evaluations.
+	MaxEvaluations = core.MaxEvaluations
+	// TargetFitness stops at a fitness threshold.
+	TargetFitness = core.TargetFitness
+	// AnyOf stops when any child condition fires.
+	AnyOf = core.AnyOf
+)
+
+// NewStagnation stops after limit non-improving steps.
+func NewStagnation(limit int) StopCondition { return core.NewStagnation(limit) }
+
+// Target returns a stop condition that fires when p's known optimum is
+// reached; it panics if p has no known optimum.
+func Target(p Problem) StopCondition {
+	ta, ok := p.(core.TargetAware)
+	if !ok {
+		panic("pga: Target requires a problem with a known optimum")
+	}
+	return core.TargetFitness{Target: ta.Optimum(), Dir: p.Direction()}
+}
+
+// Genome representations.
+type (
+	// BitString is a binary chromosome.
+	BitString = genome.BitString
+	// RealVector is a bounded real-valued chromosome.
+	RealVector = genome.RealVector
+	// IntVector is a bounded integer chromosome.
+	IntVector = genome.IntVector
+	// Permutation is an ordering chromosome.
+	Permutation = genome.Permutation
+)
+
+// Selection operators.
+type (
+	// TournamentSelection is k-tournament parent selection.
+	TournamentSelection = operators.Tournament
+	// RouletteSelection is fitness-proportionate selection.
+	RouletteSelection = operators.Roulette
+	// RankSelection is linear-ranking selection.
+	RankSelection = operators.LinearRank
+	// TruncationSelection selects among the best fraction.
+	TruncationSelection = operators.Truncation
+)
+
+// Crossover operators.
+type (
+	// OnePointCrossover cuts once.
+	OnePointCrossover = operators.OnePoint
+	// TwoPointCrossover cuts twice.
+	TwoPointCrossover = operators.TwoPoint
+	// UniformCrossover exchanges genes independently.
+	UniformCrossover = operators.Uniform
+	// SBXCrossover is simulated binary crossover for real vectors.
+	SBXCrossover = operators.SBX
+	// BLXCrossover is blend crossover for real vectors.
+	BLXCrossover = operators.BLX
+	// OXCrossover is order crossover for permutations.
+	OXCrossover = operators.OX
+	// PMXCrossover is partially-mapped crossover for permutations.
+	PMXCrossover = operators.PMX
+	// ERXCrossover is edge-recombination crossover for permutations.
+	ERXCrossover = operators.ERX
+)
+
+// Mutation operators.
+type (
+	// BitFlip flips bits with a per-gene probability.
+	BitFlip = operators.BitFlip
+	// GaussianMutation perturbs real genes.
+	GaussianMutation = operators.Gaussian
+	// PolynomialMutation is Deb's polynomial mutation.
+	PolynomialMutation = operators.Polynomial
+	// SwapMutation exchanges two genes.
+	SwapMutation = operators.Swap
+	// InversionMutation reverses a permutation slice.
+	InversionMutation = operators.Inversion
+)
+
+// Benchmark problems (see internal/problems for the full catalogue).
+var (
+	// Sphere is the unimodal sphere function (minimised).
+	Sphere = problems.Sphere
+	// Rastrigin is the multimodal Rastrigin function (minimised).
+	Rastrigin = problems.Rastrigin
+	// Rosenbrock is the banana-valley function (minimised).
+	Rosenbrock = problems.Rosenbrock
+	// Ackley is the Ackley function (minimised).
+	Ackley = problems.Ackley
+	// Griewank is the Griewank function (minimised).
+	Griewank = problems.Griewank
+	// Schwefel is Schwefel's function (minimised).
+	Schwefel = problems.Schwefel
+	// Step is De Jong's plateau function F3 (minimised).
+	Step = problems.Step
+	// Foxholes is Shekel's foxholes, De Jong F5 (minimised, 2-D).
+	Foxholes = problems.Foxholes
+)
+
+// OneMax returns the n-bit OneMax problem.
+func OneMax(n int) Problem { return problems.OneMax{N: n} }
+
+// DeceptiveTrap returns a deceptive trap problem with blocks of k bits.
+func DeceptiveTrap(blocks, k int) Problem { return problems.DeceptiveTrap{Blocks: blocks, K: k} }
+
+// Engines.
+type (
+	// Engine is a stepwise-evolving population.
+	Engine = ga.Engine
+	// GAConfig configures the sequential engines.
+	GAConfig = ga.Config
+	// RunOptions tunes Run.
+	RunOptions = ga.RunOptions
+)
+
+// NewGenerational returns a generational GA engine. If cfg.RNG is nil a
+// stream seeded with 0 is used.
+func NewGenerational(cfg GAConfig) Engine {
+	if cfg.RNG == nil {
+		cfg.RNG = rng.New(0)
+	}
+	return ga.NewGenerational(cfg)
+}
+
+// NewSteadyState returns a steady-state GA engine with replace-worst
+// insertion.
+func NewSteadyState(cfg GAConfig) Engine {
+	if cfg.RNG == nil {
+		cfg.RNG = rng.New(0)
+	}
+	return ga.NewSteadyState(cfg, true)
+}
+
+// NewParallelGenerational returns the shared-memory global PGA: the whole
+// reproduction step (selection, variation, evaluation) runs across the
+// given number of workers over one panmictic population — Bethke's and
+// Grefenstette's global model. Deterministic per (seed, workers).
+func NewParallelGenerational(cfg GAConfig, workers int) Engine {
+	if cfg.RNG == nil {
+		cfg.RNG = rng.New(0)
+	}
+	return ga.NewParallelGenerational(cfg, workers)
+}
+
+// Run drives an engine until the stop condition fires.
+func Run(e Engine, opts RunOptions) *Result { return ga.Run(e, opts) }
+
+// TopologyKind selects a built-in island topology.
+type TopologyKind int
+
+// Built-in topologies for IslandConfig.
+const (
+	// Ring is a unidirectional ring.
+	Ring TopologyKind = iota
+	// BiRing is a bidirectional ring.
+	BiRing
+	// Star is a hub-and-leaves topology.
+	Star
+	// Complete is fully connected.
+	Complete
+	// Hypercube requires a power-of-two deme count.
+	Hypercube
+	// Isolated has no links (no migration).
+	Isolated
+)
+
+// Migration is the island migration policy (re-exported).
+type Migration = migration.Policy
+
+// Migrant selection and integration policies.
+type (
+	// SelectBestMigrants emigrates the deme's best.
+	SelectBestMigrants = migration.SelectBest
+	// SelectRandomMigrants emigrates random members.
+	SelectRandomMigrants = migration.SelectRandom
+	// ReplaceWorstWith replaces the worst members unconditionally.
+	ReplaceWorstWith = migration.ReplaceWorst
+	// ReplaceWorstIfBetter accepts only improving migrants.
+	ReplaceWorstIfBetter = migration.ReplaceWorstIfBetter
+)
+
+// IslandConfig configures an island-model (coarse-grained) PGA.
+type IslandConfig struct {
+	// Demes is the number of islands.
+	Demes int
+	// Topology is one of the built-in kinds.
+	Topology TopologyKind
+	// GA configures each deme's engine (the RNG field is ignored: every
+	// deme receives its own stream split from Seed).
+	GA GAConfig
+	// Migration is the migration policy.
+	Migration Migration
+	// Seed seeds the whole model.
+	Seed uint64
+}
+
+// IslandModel is the coarse-grained PGA (re-exported).
+type IslandModel = island.Model
+
+// IslandResult summarises an island run (re-exported).
+type IslandResult = island.Result
+
+// buildTopology materialises a TopologyKind for n demes.
+func buildTopology(kind TopologyKind, n int) topology.Topology {
+	switch kind {
+	case BiRing:
+		return topology.BiRing(n)
+	case Star:
+		return topology.Star(n)
+	case Complete:
+		return topology.Complete(n)
+	case Hypercube:
+		d := 0
+		for 1<<uint(d) < n {
+			d++
+		}
+		if 1<<uint(d) != n {
+			panic("pga: Hypercube topology requires a power-of-two deme count")
+		}
+		return topology.Hypercube(d)
+	case Isolated:
+		return topology.Isolated(n)
+	default:
+		return topology.Ring(n)
+	}
+}
+
+// NewIslands builds an island model with identical generational demes.
+func NewIslands(cfg IslandConfig) *IslandModel {
+	if cfg.Demes == 0 {
+		cfg.Demes = 4
+	}
+	gaCfg := cfg.GA
+	return NewIslandsWithEngines(cfg.Demes, cfg.Topology, cfg.Migration, cfg.Seed,
+		func(deme int, r *RNG) Engine {
+			c := gaCfg
+			c.RNG = r
+			return ga.NewGenerational(c)
+		})
+}
+
+// NewIslandsWithEngines builds an island model with a custom per-deme
+// engine factory — for heterogeneous demes (Alba & Troya 2002's mixed
+// schemes), cellular demes, or the hybrid model where each deme evaluates
+// through its own master–slave farm (the cluster-of-SMPs pattern of the
+// survey's §3.3).
+func NewIslandsWithEngines(demes int, kind TopologyKind, pol Migration, seed uint64, newEngine func(deme int, r *RNG) Engine) *IslandModel {
+	return island.New(island.Config{
+		Topology:  buildTopology(kind, demes),
+		Policy:    pol,
+		NewEngine: func(deme int, r *rng.Source) ga.Engine { return newEngine(deme, r) },
+		Seed:      seed,
+	})
+}
+
+// Master–slave model.
+type (
+	// Farm is the parallel fitness-evaluation farm (plug it into
+	// GAConfig.Evaluator).
+	Farm = masterslave.Farm
+	// WorkerSpec configures one farm worker.
+	WorkerSpec = masterslave.WorkerSpec
+)
+
+// NewFarm creates a fault-tolerant evaluation farm.
+func NewFarm(seed uint64, specs []WorkerSpec) *Farm { return masterslave.NewFarm(seed, specs) }
+
+// UniformWorkers returns n identical fault-free workers.
+func UniformWorkers(n int) []WorkerSpec { return masterslave.Uniform(n) }
+
+// Cellular model.
+type (
+	// CellularConfig configures the fine-grained GA.
+	CellularConfig = cellular.Config
+	// UpdatePolicy selects the cell-update schedule.
+	UpdatePolicy = cellular.UpdatePolicy
+)
+
+// Cellular update policies.
+const (
+	// SyncUpdate updates all cells from the previous grid.
+	SyncUpdate = cellular.Synchronous
+	// LineSweepUpdate updates in row-major order in place.
+	LineSweepUpdate = cellular.LineSweep
+	// NewRandomSweepUpdate uses a fresh random order per sweep.
+	NewRandomSweepUpdate = cellular.NewRandomSweep
+)
+
+// NewCellular returns a cellular GA engine (usable standalone or as an
+// island deme).
+func NewCellular(cfg CellularConfig) Engine {
+	if cfg.RNG == nil {
+		cfg.RNG = rng.New(0)
+	}
+	return cellular.New(cfg)
+}
+
+// Hierarchical model.
+type (
+	// HGAConfig configures the hierarchical multi-fidelity GA.
+	HGAConfig = hga.Config
+	// HGAResult summarises an HGA run.
+	HGAResult = hga.Result
+	// MultiFidelity is a problem evaluable at several fidelity levels.
+	MultiFidelity = hga.MultiFidelity
+)
+
+// NewHGA builds a hierarchical GA.
+func NewHGA(cfg HGAConfig) *hga.Model { return hga.New(cfg) }
+
+// QuantizedFidelity wraps a real-valued benchmark into a 3-level
+// multi-fidelity problem.
+func QuantizedFidelity(inner *problems.RealFunc) MultiFidelity { return hga.NewQuantized(inner) }
+
+// Specialized island model (multi-objective).
+type (
+	// SIMConfig configures a SIM run.
+	SIMConfig = sim.Config
+	// SIMResult summarises a SIM run.
+	SIMResult = sim.Result
+	// SIMScenario is one of the seven configurations.
+	SIMScenario = sim.Scenario
+	// MultiObjective is a problem with several minimised objectives.
+	MultiObjective = sim.MultiObjective
+)
+
+// ZDT1 returns the classic bi-objective benchmark.
+func ZDT1(dim int) MultiObjective { return sim.ZDT1{Dim: dim} }
+
+// RunSIM executes a SIM scenario.
+func RunSIM(cfg SIMConfig) *SIMResult { return sim.Run(cfg) }
+
+// SIMScenarios lists the seven scenarios in order.
+func SIMScenarios() []SIMScenario { return sim.Scenarios() }
+
+// Checkpointing (GALOPPS-style exact save/restore; see internal/persist).
+type (
+	// Checkpoint is a serialisable snapshot of a population plus the RNG
+	// stream driving its engine.
+	Checkpoint = persist.Checkpoint
+)
+
+// CaptureCheckpoint snapshots a population and its engine stream.
+func CaptureCheckpoint(pop *Population, r *RNG, generation int, evaluations int64) (*Checkpoint, error) {
+	return persist.Capture(pop, r, generation, evaluations)
+}
+
+// LoadCheckpoint parses a serialised checkpoint.
+func LoadCheckpoint(data []byte) (*Checkpoint, error) {
+	return persist.UnmarshalCheckpoint(data)
+}
+
+// Peer-to-peer overlay (DREAM-style; see internal/p2p).
+type (
+	// P2PConfig configures a gossip overlay run.
+	P2PConfig = p2p.Config
+	// P2PResult summarises an overlay run.
+	P2PResult = p2p.Result
+	// P2PNetwork is an instantiated overlay.
+	P2PNetwork = p2p.Network
+)
+
+// NewP2P builds a DREAM-style peer-to-peer evolutionary overlay.
+func NewP2P(cfg P2PConfig) *P2PNetwork { return p2p.New(cfg) }
