@@ -43,6 +43,7 @@ func BenchmarkE11Punctuated(b *testing.B)     { benchExperiment(b, "E11") }
 func BenchmarkE12Scalability(b *testing.B)    { benchExperiment(b, "E12") }
 func BenchmarkE13Applications(b *testing.B)   { benchExperiment(b, "E13") }
 func BenchmarkE14Topology(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15Supervision(b *testing.B)    { benchExperiment(b, "E15") }
 
 func BenchmarkA01Elitism(b *testing.B)            { benchExperiment(b, "A01") }
 func BenchmarkA02GrayEncoding(b *testing.B)       { benchExperiment(b, "A02") }

@@ -1,12 +1,16 @@
-// Fault-tolerant master–slave evaluation: runs the same GA on a healthy
-// worker farm and on a farm where workers fail and die mid-run,
-// demonstrating Gagné et al.'s transparency/robustness/adaptivity — the
-// GA is oblivious, every run completes, and only redispatch overhead is
-// paid.
+// Fault tolerance at both levels of the library. First the master–slave
+// farm: the same GA runs on a healthy worker farm and on farms where
+// workers fail and die mid-run, demonstrating Gagné et al.'s
+// transparency/robustness/adaptivity — the GA is oblivious, every run
+// completes, and only redispatch overhead is paid. Then the island
+// model's deme supervision: the same seeded parallel run executes with
+// injected deme panics, a hang, and a permanent deme death, and recovers
+// through checkpoint restarts and topology healing.
 package main
 
 import (
 	"fmt"
+	"time"
 
 	"pga"
 )
@@ -65,4 +69,45 @@ func main() {
 		doomed[i] = pga.WorkerSpec{Speed: 1, FailProb: 1, MaxFailures: 1}
 	}
 	run("all workers die", doomed)
+
+	fmt.Println("island model under deme supervision")
+	fmt.Println("(same seed — only the injected faults change)")
+	fmt.Println()
+	runIslands("fault-free", nil, nil)
+	runIslands("panic + hang (transient)",
+		&pga.Resilience{CheckpointEvery: 5, MaxRestarts: 3, Heartbeat: 30 * time.Millisecond},
+		pga.NewFaultPlan().PanicAt(1, 6).HangAt(2, 9, 90*time.Millisecond))
+	runIslands("deme 3 dies permanently",
+		&pga.Resilience{CheckpointEvery: 5, MaxRestarts: -1},
+		pga.NewFaultPlan().PanicAt(3, 8))
+}
+
+// runIslands runs a supervised 4-deme ring on OneMax with the given
+// resilience tuning and fault script.
+func runIslands(label string, res *pga.Resilience, plan *pga.FaultPlan) {
+	if res == nil {
+		res = &pga.Resilience{CheckpointEvery: 5, MaxRestarts: 3}
+	}
+	prob := pga.OneMax(64)
+	m := pga.NewIslands(pga.IslandConfig{
+		Demes:    4,
+		Topology: pga.Ring,
+		GA: pga.GAConfig{
+			Problem:   prob,
+			PopSize:   30,
+			Crossover: pga.UniformCrossover{},
+			Mutator:   pga.BitFlip{},
+		},
+		Migration:  pga.Migration{Interval: 5, Count: 2, Sync: true},
+		Seed:       11,
+		Resilience: res,
+		Faults:     plan,
+	})
+	r := m.RunParallel(400, false)
+	fmt.Printf("%-28s solved=%-5v gens=%-4d restarts=%d panics=%d timeouts=%d dead=%v\n",
+		label, r.Solved, r.Generations, r.Restarts, r.PanicsRecovered, r.HeartbeatTimeouts, r.DeadDemes)
+	for _, f := range r.Failures {
+		fmt.Printf("%-28s   deme %d failed at gen %d (%s), restarted=%v\n", "", f.Deme, f.Gen, f.Kind, f.Restarted)
+	}
+	fmt.Println()
 }

@@ -18,7 +18,8 @@ func main() {
 
 	// Four "machines" (islands), each an SMP with a 4-worker farm.
 	farms := make([]*pga.Farm, 4)
-	hybrid := pga.NewIslandsWithEngines(4, pga.BiRing, pga.Migration{Interval: 10, Count: 2}, 21,
+	hybrid := pga.NewIslandsWithEngines(
+		pga.IslandConfig{Demes: 4, Topology: pga.BiRing, Migration: pga.Migration{Interval: 10, Count: 2}, Seed: 21},
 		func(deme int, r *pga.RNG) pga.Engine {
 			farms[deme] = pga.NewFarm(uint64(deme)+100, pga.UniformWorkers(4))
 			return pga.NewGenerational(pga.GAConfig{

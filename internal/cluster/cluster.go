@@ -140,7 +140,11 @@ func (c *Cluster) Send(from, to int, size float64, deliver func()) {
 		panic("cluster: Send endpoint out of range")
 	}
 	if !c.Alive(from) {
-		return // dead sender sends nothing
+		// A dead sender's message is lost traffic just like a dropped or
+		// dead-receiver one: count it so MessagesDropped reflects every
+		// message that never arrived.
+		c.dropped++
+		return
 	}
 	if c.link.LossProb > 0 && c.rng.Chance(c.link.LossProb) {
 		c.dropped++

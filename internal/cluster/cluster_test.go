@@ -182,6 +182,45 @@ func TestDeadSenderSendsNothing(t *testing.T) {
 	}
 }
 
+// TestDropAccountingSymmetric pins that every way a message can fail to
+// arrive — dead sender, dead receiver, link loss — increments the dropped
+// counter, so MessagesSent + MessagesDropped accounts for all traffic.
+func TestDropAccountingSymmetric(t *testing.T) {
+	// Dead sender: previously silently ignored, now counted as dropped.
+	c := New([]NodeSpec{{Speed: 1, CrashAt: 1}, {Speed: 1}}, LinkSpec{}, 4)
+	c.Sim.Schedule(2, func() {
+		c.Send(0, 1, 0, func() { t.Error("dead sender's message delivered") })
+	})
+	c.Sim.Run()
+	if c.MessagesSent() != 0 || c.MessagesDropped() != 1 {
+		t.Fatalf("dead sender: sent=%d dropped=%d, want 0/1", c.MessagesSent(), c.MessagesDropped())
+	}
+
+	// Dead receiver.
+	c = New([]NodeSpec{{Speed: 1}, {Speed: 1, CrashAt: 0.5}}, LinkSpec{Latency: 1}, 4)
+	c.Send(0, 1, 0, func() { t.Error("dead receiver's message delivered") })
+	c.Sim.Run()
+	if c.MessagesSent() != 0 || c.MessagesDropped() != 1 {
+		t.Fatalf("dead receiver: sent=%d dropped=%d, want 0/1", c.MessagesSent(), c.MessagesDropped())
+	}
+
+	// Link loss.
+	c = New(UniformNodes(2), LinkSpec{LossProb: 1}, 4)
+	c.Send(0, 1, 0, func() { t.Error("lost message delivered") })
+	c.Sim.Run()
+	if c.MessagesSent() != 0 || c.MessagesDropped() != 1 {
+		t.Fatalf("link loss: sent=%d dropped=%d, want 0/1", c.MessagesSent(), c.MessagesDropped())
+	}
+
+	// Healthy path for contrast: sent counts, dropped does not.
+	c = New(UniformNodes(2), LinkSpec{}, 4)
+	c.Send(0, 1, 0, func() {})
+	c.Sim.Run()
+	if c.MessagesSent() != 1 || c.MessagesDropped() != 0 {
+		t.Fatalf("healthy: sent=%d dropped=%d, want 1/0", c.MessagesSent(), c.MessagesDropped())
+	}
+}
+
 func TestLinkPresetsSane(t *testing.T) {
 	if Myrinet.TransferTime(1e6) >= GigabitEthernet.TransferTime(1e6) {
 		t.Fatal("Myrinet not faster than GigE")

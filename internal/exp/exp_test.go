@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"A01", "A02", "A03", "A04", "A05", "A06", "A07", "A08", "A09",
 		"E01", "E02", "E03", "E04", "E05", "E06", "E07",
-		"E08", "E09", "E10", "E11", "E12", "E13", "E14",
+		"E08", "E09", "E10", "E11", "E12", "E13", "E14", "E15",
 	}
 	all := All()
 	if len(all) != len(want) {

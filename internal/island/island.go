@@ -28,6 +28,7 @@ import (
 	"pga/internal/ga"
 	"pga/internal/migration"
 	"pga/internal/rng"
+	"pga/internal/supervise"
 	"pga/internal/topology"
 )
 
@@ -49,6 +50,17 @@ type Config struct {
 	// Seed seeds the master random stream from which every deme's engine
 	// and migration streams are split.
 	Seed uint64
+	// Resilience enables the supervision layer for RunParallel: panics
+	// in a deme's step are recovered, crashed demes restart from
+	// periodic checkpoints, hung demes are detected by heartbeat and the
+	// topology is healed around demes that exhaust their restart budget
+	// (see internal/supervise). nil runs unsupervised (a deme panic is a
+	// process panic, exactly as before).
+	Resilience *supervise.Config
+	// Faults optionally injects deterministic failures into a supervised
+	// run — the test harness for Resilience. Ignored when Resilience is
+	// nil.
+	Faults *supervise.FaultPlan
 }
 
 // rewirable is implemented by dynamic topologies (topology.Dynamic).
@@ -79,17 +91,45 @@ type Result struct {
 	// Trace is the global best per generation (sequential mode, and
 	// sync-parallel mode, when tracing was requested).
 	Trace []core.TracePoint
-	// PerDemeBest is the final best fitness of each deme.
+	// PerDemeBest is the final best fitness of each deme (a dead deme
+	// reports its last checkpoint).
 	PerDemeBest []float64
+
+	// Supervision counters (populated only when Config.Resilience is
+	// set; see internal/supervise).
+
+	// Restarts counts deme restarts from checkpoint.
+	Restarts int64
+	// PanicsRecovered counts step panics converted into restarts.
+	PanicsRecovered int64
+	// HeartbeatTimeouts counts missed per-generation heartbeats.
+	HeartbeatTimeouts int64
+	// DeadLettered counts async migrant batches dropped after their
+	// retry budget.
+	DeadLettered int64
+	// DeadDemes lists demes that exhausted their restart budget and were
+	// routed around.
+	DeadDemes []int
+	// Failures is the ordered log of typed deme-failure events.
+	Failures []supervise.DemeFailure
 }
 
 // Model is an instantiated island system.
 type Model struct {
-	cfg     Config
-	engines []ga.Engine
-	migRNGs []*rng.Source
-	dir     core.Direction
-	problem core.Problem
+	cfg        Config
+	engines    []ga.Engine
+	engineRNGs []*rng.Source
+	migRNGs    []*rng.Source
+	restartRNG *rng.Source
+	dir        core.Direction
+	problem    core.Problem
+
+	// Supervised-run state: sup is the active supervisor and deadPops
+	// holds the frozen last-checkpoint population of each dead deme (its
+	// abandoned engine may still be mutated by a hung goroutine and must
+	// never be read again).
+	sup      *supervise.Supervisor
+	deadPops []*core.Population
 }
 
 // New builds the demes. Deme i's engine stream and migration stream are
@@ -109,15 +149,19 @@ func New(cfg Config) *Model {
 	}
 	master := rng.New(cfg.Seed)
 	m := &Model{
-		cfg:     cfg,
-		engines: make([]ga.Engine, n),
-		migRNGs: make([]*rng.Source, n),
+		cfg:        cfg,
+		engines:    make([]ga.Engine, n),
+		engineRNGs: make([]*rng.Source, n),
+		migRNGs:    make([]*rng.Source, n),
 	}
 	for i := 0; i < n; i++ {
-		engineRNG := master.Split()
+		m.engineRNGs[i] = master.Split()
 		m.migRNGs[i] = master.Split()
-		m.engines[i] = cfg.NewEngine(i, engineRNG)
+		m.engines[i] = cfg.NewEngine(i, m.engineRNGs[i])
 	}
+	// The restart stream is split last, so its presence does not perturb
+	// the per-deme streams of existing seeded runs.
+	m.restartRNG = master.Split()
 	m.problem = m.engines[0].Problem()
 	m.dir = m.problem.Direction()
 	return m
@@ -130,10 +174,29 @@ func (m *Model) Demes() int { return len(m.engines) }
 // instrumentation).
 func (m *Model) Engines() []ga.Engine { return m.engines }
 
-// totalEvaluations sums evaluations across demes.
+// demePop returns the population used for deme i's statistics: the live
+// engine's, or — for a deme declared dead under supervision — its frozen
+// last-checkpoint population (the abandoned engine may still be mutated
+// by a hung goroutine and is never read again).
+func (m *Model) demePop(i int) *core.Population {
+	if m.deadPops != nil && m.deadPops[i] != nil {
+		return m.deadPops[i]
+	}
+	return m.engines[i].Population()
+}
+
+// totalEvaluations sums evaluations across demes. Dead demes contribute
+// their last checkpointed count (accumulated by the supervisor), as do
+// the replaced engines of restarted demes.
 func (m *Model) totalEvaluations() int64 {
 	var t int64
-	for _, e := range m.engines {
+	if m.sup != nil {
+		t = m.sup.RetiredEvaluations()
+	}
+	for i, e := range m.engines {
+		if m.deadPops != nil && m.deadPops[i] != nil {
+			continue
+		}
 		t += e.Evaluations()
 	}
 	return t
@@ -143,11 +206,11 @@ func (m *Model) totalEvaluations() int64 {
 func (m *Model) globalBest() (*core.Individual, float64) {
 	bestFit := m.dir.Worst()
 	var best *core.Individual
-	for _, e := range m.engines {
-		pop := e.Population()
-		if i := pop.Best(m.dir); i >= 0 && m.dir.Better(pop.Members[i].Fitness, bestFit) {
-			bestFit = pop.Members[i].Fitness
-			best = pop.Members[i]
+	for i := range m.engines {
+		pop := m.demePop(i)
+		if j := pop.Best(m.dir); j >= 0 && m.dir.Better(pop.Members[j].Fitness, bestFit) {
+			bestFit = pop.Members[j].Fitness
+			best = pop.Members[j]
 		}
 	}
 	if best != nil {
@@ -156,33 +219,41 @@ func (m *Model) globalBest() (*core.Individual, float64) {
 	return best, bestFit
 }
 
-// maybeRewire rewires a dynamic topology on schedule. epoch counts
-// completed migration epochs.
-func (m *Model) maybeRewire(epoch int64) {
+// maybeRewire rewires a dynamic topology on schedule, reporting whether
+// it did. epoch counts completed migration epochs.
+func (m *Model) maybeRewire(epoch int64) bool {
 	if m.cfg.RewireEvery <= 0 || epoch == 0 || epoch%int64(m.cfg.RewireEvery) != 0 {
-		return
+		return false
 	}
 	if rw, ok := m.cfg.Topology.(rewirable); ok {
 		rw.Rewire()
+		return true
 	}
+	return false
 }
 
-// exchange performs one synchronous migration epoch: every deme's
-// emigrants are picked from the pre-exchange populations, then delivered.
-// Returns the number of batches sent.
-func (m *Model) exchange() int64 {
+// exchange performs one synchronous migration epoch over the configured
+// topology.
+func (m *Model) exchange() int64 { return m.exchangeOn(m.cfg.Topology) }
+
+// exchangeOn performs one synchronous migration epoch over topo: every
+// deme's emigrants are picked from the pre-exchange populations, then
+// delivered. Returns the number of batches sent. Demes with no outgoing
+// links (including dead demes under a healed Router, whose lists are
+// empty and who appear in no live deme's list) take no part.
+func (m *Model) exchangeOn(topo topology.Topology) int64 {
 	p := m.cfg.Policy
 	n := len(m.engines)
 	outgoing := make([][]*core.Individual, n)
 	for i := 0; i < n; i++ {
-		if len(m.cfg.Topology.Neighbors(i)) == 0 {
+		if len(topo.Neighbors(i)) == 0 {
 			continue
 		}
 		outgoing[i] = p.Select.Pick(m.engines[i].Population(), m.dir, p.Count, m.migRNGs[i])
 	}
 	var batches int64
 	for i := 0; i < n; i++ {
-		for _, nbr := range m.cfg.Topology.Neighbors(i) {
+		for _, nbr := range topo.Neighbors(i) {
 			if len(outgoing[i]) == 0 {
 				continue
 			}
@@ -255,8 +326,8 @@ func (m *Model) RunSequential(stop core.StopCondition, trace bool) *Result {
 // meanFitness returns the mean fitness over all demes' members.
 func (m *Model) meanFitness() float64 {
 	sum, n := 0.0, 0
-	for _, e := range m.engines {
-		for _, ind := range e.Population().Members {
+	for i := range m.engines {
+		for _, ind := range m.demePop(i).Members {
 			if ind.Evaluated {
 				sum += ind.Fitness
 				n++
@@ -277,8 +348,16 @@ func (m *Model) finish(res *Result, best *core.Individual, bestFit float64, gens
 	res.Evaluations = m.totalEvaluations()
 	res.Elapsed = time.Since(start)
 	res.PerDemeBest = make([]float64, len(m.engines))
-	for i, e := range m.engines {
-		res.PerDemeBest[i] = e.Population().BestFitness(m.dir)
+	for i := range m.engines {
+		res.PerDemeBest[i] = m.demePop(i).BestFitness(m.dir)
+	}
+	if m.sup != nil {
+		res.Restarts = m.sup.Restarts()
+		res.PanicsRecovered = m.sup.PanicsRecovered()
+		res.HeartbeatTimeouts = m.sup.HeartbeatTimeouts()
+		res.DeadLettered = m.sup.DeadLettered()
+		res.DeadDemes = m.sup.Router().Dead()
+		res.Failures = m.sup.Failures()
 	}
 }
 
@@ -289,6 +368,19 @@ func (m *Model) finish(res *Result, best *core.Individual, bestFit float64, gens
 // bounded non-blocking channels (migrant arrival order is scheduling
 // dependent — the only permitted nondeterminism in the library).
 func (m *Model) RunParallel(maxGens int, trace bool) *Result {
+	if m.cfg.Resilience != nil {
+		sup := supervise.New(*m.cfg.Resilience, m.cfg.Faults, m.cfg.Topology,
+			m.cfg.NewEngine, m.restartRNG)
+		for i := range m.engines {
+			sup.Attach(i, m.engineRNGs[i])
+		}
+		m.sup = sup
+		m.deadPops = make([]*core.Population, len(m.engines))
+		if m.cfg.Policy.Sync {
+			return m.runParallelSyncSupervised(maxGens, trace, sup)
+		}
+		return m.runParallelAsyncSupervised(maxGens, sup)
+	}
 	if m.cfg.Policy.Sync {
 		return m.runParallelSync(maxGens, trace)
 	}

@@ -1,0 +1,279 @@
+package island
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/supervise"
+)
+
+// This file holds the supervised variants of RunParallel — the runtime
+// behind Config.Resilience. They mirror runParallelSync/runParallelAsync
+// but route every deme step through a supervise.Supervisor: panics are
+// recovered into restarts from checkpoint, hung steps are abandoned on a
+// heartbeat deadline, and demes that exhaust their restart budget are
+// declared dead, frozen at their last checkpoint and routed around by a
+// healed topology (Gagné et al.'s transparency/robustness/adaptivity at
+// the island level; survey §4).
+
+// failureKind maps a step outcome to its failure class.
+func failureKind(out supervise.StepOutcome) supervise.FailureKind {
+	if out.Status == supervise.StepTimedOut {
+		return supervise.FailureTimeout
+	}
+	return supervise.FailurePanic
+}
+
+// retireDeme records a dead deme's frozen population so statistics never
+// touch its abandoned engine again.
+func (m *Model) retireDeme(i int, frozen *core.Population) {
+	if frozen == nil {
+		frozen = core.NewPopulation(0)
+	}
+	m.deadPops[i] = frozen
+}
+
+// runParallelSyncSupervised: barrier per generation, central migration,
+// every step supervised. Failed demes retry the *current* generation
+// after restoring their checkpoint (the barrier cannot roll the other
+// demes back), so a transient fault costs one deme its progress since the
+// last checkpoint and nobody else anything.
+func (m *Model) runParallelSyncSupervised(maxGens int, trace bool, sup *supervise.Supervisor) *Result {
+	start := time.Now()
+	res := &Result{}
+	ta, hasTarget := m.problem.(core.TargetAware)
+	router := sup.Router()
+	n := len(m.engines)
+
+	// Generation-0 checkpoint: every deme can be restored from the
+	// moment the run starts.
+	for i := 0; i < n; i++ {
+		_ = sup.Checkpoint(i, m.engines[i].Population(), 0, m.engines[i].Evaluations())
+	}
+
+	best, bestFit := m.globalBest()
+	gen := 0
+	var epochs int64
+	outcomes := make([]supervise.StepOutcome, n)
+	for ; gen < maxGens && router.AliveCount() > 0; gen++ {
+		g := gen + 1
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			if !router.Alive(i) {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, e ga.Engine) {
+				defer wg.Done()
+				outcomes[i] = sup.RunStep(i, g, e)
+			}(i, m.engines[i])
+		}
+		wg.Wait()
+
+		// Serial recovery pass, deme order: restore-and-retry the failed
+		// generation until it completes or the deme's budget runs out.
+		for i := 0; i < n; i++ {
+			if !router.Alive(i) {
+				continue
+			}
+			for outcomes[i].Status != supervise.StepOK {
+				eng, frozen, ok := sup.Restart(i, g, failureKind(outcomes[i]), outcomes[i].Err)
+				if !ok {
+					m.retireDeme(i, frozen)
+					break
+				}
+				m.engines[i] = eng
+				outcomes[i] = sup.RunStep(i, g, eng)
+			}
+		}
+
+		if m.cfg.Policy.Due(g) {
+			res.Migrations += m.exchangeOn(router)
+			epochs++
+			if m.maybeRewire(epochs) {
+				router.Refresh()
+			}
+		}
+		if sup.CheckpointDue(g) {
+			for i := 0; i < n; i++ {
+				if router.Alive(i) {
+					_ = sup.Checkpoint(i, m.engines[i].Population(), g, m.engines[i].Evaluations())
+				}
+			}
+		}
+
+		nb, nf := m.globalBest()
+		if m.dir.Better(nf, bestFit) {
+			best, bestFit = nb, nf
+		}
+		if trace {
+			res.Trace = append(res.Trace, core.TracePoint{Generation: g, Evaluations: m.totalEvaluations(), Best: bestFit, Mean: m.meanFitness()})
+		}
+		if hasTarget && ta.Solved(bestFit) {
+			res.Solved = true
+			res.SolvedAtEval = m.totalEvaluations()
+			res.SolvedAtGen = g
+			gen++
+			break
+		}
+	}
+	m.finish(res, best, bestFit, gen, start)
+	return res
+}
+
+// pendingBatch is an undelivered async migrant batch awaiting retry.
+type pendingBatch struct {
+	dest     int
+	batch    []*core.Individual
+	attempts int
+}
+
+// runParallelAsyncSupervised: free-running supervised demes. Each worker
+// goroutine is its own supervisor loop — a failed step restores the
+// deme's checkpoint and resumes from the checkpointed generation
+// (re-doing the lost work), and a dead deme simply leaves the loop while
+// the survivors route around it. Undeliverable migrant batches are
+// retried on later epochs and dead-lettered after their retry budget
+// instead of being dropped silently.
+func (m *Model) runParallelAsyncSupervised(maxGens int, sup *supervise.Supervisor) *Result {
+	start := time.Now()
+	res := &Result{}
+	ta, hasTarget := m.problem.(core.TargetAware)
+	p := m.cfg.Policy
+	n := len(m.engines)
+	router := sup.Router()
+	maxRetries := sup.Config().MaxSendRetries
+
+	inbox := make([]chan []*core.Individual, n)
+	for i := range inbox {
+		inbox[i] = make(chan []*core.Individual, p.Buffer)
+	}
+	var solved atomic.Bool
+	var solvedGen atomic.Int64
+	var migrations atomic.Int64
+	gens := make([]int, n)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := m.engines[i]
+			mr := m.migRNGs[i]
+			_ = sup.Checkpoint(i, e.Population(), 0, e.Evaluations())
+
+			var pending []pendingBatch
+			// Batches still pending when the worker exits — run over,
+			// deme solved, or deme dead — are lost traffic: dead-letter
+			// them so the counters account for every batch that never
+			// arrived.
+			defer func() {
+				for range pending {
+					sup.DeadLetter(1)
+				}
+			}()
+			// deliver attempts one non-blocking send, dead-lettering
+			// batches whose receiver died or whose retries ran out.
+			deliver := func(pb pendingBatch) {
+				if !router.Alive(pb.dest) {
+					sup.DeadLetter(1)
+					return
+				}
+				select {
+				case inbox[pb.dest] <- pb.batch:
+					migrations.Add(1)
+				default:
+					if pb.attempts >= maxRetries {
+						sup.DeadLetter(1)
+					} else {
+						pb.attempts++
+						pending = append(pending, pb)
+					}
+				}
+			}
+
+			for g := 1; g <= maxGens; g++ {
+				if solved.Load() {
+					return
+				}
+				out := sup.RunStep(i, g, e)
+				if out.Status != supervise.StepOK {
+					eng, frozen, ok := sup.Restart(i, g, failureKind(out), out.Err)
+					if !ok {
+						m.retireDeme(i, frozen)
+						return
+					}
+					resume := sup.ResumeGen(i)
+					e = eng
+					m.engines[i] = eng
+					g = resume // loop increment resumes at resume+1
+					continue
+				}
+				gens[i] = g
+				if hasTarget {
+					if f := e.Population().BestFitness(m.dir); ta.Solved(f) {
+						if solved.CompareAndSwap(false, true) {
+							solvedGen.Store(int64(g))
+						}
+						return
+					}
+				}
+				if p.Due(g) {
+					// Retry queued batches first (oldest first), then
+					// emigrate fresh clones over the healed topology.
+					queued := pending
+					pending = pending[len(pending):]
+					for _, pb := range queued {
+						deliver(pb)
+					}
+					nbrs := router.Neighbors(i)
+					if len(nbrs) > 0 {
+						out := p.Select.Pick(e.Population(), m.dir, p.Count, mr)
+						for _, nbr := range nbrs {
+							batch := make([]*core.Individual, len(out))
+							for k, ind := range out {
+								batch[k] = ind.Clone()
+							}
+							deliver(pendingBatch{dest: nbr, batch: batch, attempts: 1})
+						}
+					}
+					// Immigrate: drain whatever has arrived.
+				drain:
+					for {
+						select {
+						case batch := <-inbox[i]:
+							p.Replace.Integrate(e.Population(), m.dir, batch, mr)
+						default:
+							break drain
+						}
+					}
+				}
+				if sup.CheckpointDue(g) {
+					_ = sup.Checkpoint(i, e.Population(), g, e.Evaluations())
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	best, bestFit := m.globalBest()
+	res.Migrations = migrations.Load()
+	if solved.Load() {
+		res.Solved = true
+		// As in the unsupervised async mode, the post-stop evaluation
+		// total slightly overcounts the instant of solving.
+		res.SolvedAtEval = m.totalEvaluations()
+		res.SolvedAtGen = int(solvedGen.Load())
+	}
+	maxGen := 0
+	for _, g := range gens {
+		if g > maxGen {
+			maxGen = g
+		}
+	}
+	m.finish(res, best, bestFit, maxGen, start)
+	return res
+}

@@ -163,10 +163,20 @@ func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
 // Restore returns the checkpoint's population and loads its RNG state
 // into r (the stream the resumed engine must use).
 func (c *Checkpoint) Restore(r *rng.Source) (*core.Population, error) {
-	pop, err := UnmarshalPopulation(c.Population)
+	pop, err := c.RestorePopulation()
 	if err != nil {
 		return nil, err
 	}
 	r.SetState(c.RNGState)
 	return pop, nil
+}
+
+// RestorePopulation returns the checkpoint's population without touching
+// any RNG stream — the restart half of deme supervision
+// (internal/supervise), which deliberately resumes a crashed deme on a
+// *fresh* split stream: restoring the checkpointed stream would replay
+// the exact draws that led to the crash. Each call deserialises a fresh
+// copy, so one checkpoint can restart a deme any number of times.
+func (c *Checkpoint) RestorePopulation() (*core.Population, error) {
+	return UnmarshalPopulation(c.Population)
 }

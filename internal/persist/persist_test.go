@@ -174,6 +174,75 @@ func TestExactResume(t *testing.T) {
 	}
 }
 
+// TestRestorePopulationForRestart pins the supervisor's restart path:
+// RestorePopulation yields the checkpointed population — size, genomes,
+// fitness and evaluated flags intact — without touching any RNG stream,
+// because a restarted deme continues on a fresh split stream rather than
+// replaying the checkpointed one (restoring it would deterministically
+// reproduce the crash).
+func TestRestorePopulationForRestart(t *testing.T) {
+	r := rng.New(11)
+	e := ga.NewGenerational(ga.Config{
+		Problem:   problems.OneMax{N: 32},
+		PopSize:   12,
+		Crossover: operators.Uniform{},
+		Mutator:   operators.BitFlip{},
+		RNG:       r,
+	})
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	cp, err := Capture(e.Population(), r, 5, e.Evaluations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBest := e.Population().BestFitness(core.Maximize)
+
+	// The fresh stream a restarted deme would run on: RestorePopulation
+	// must not advance or rewrite it.
+	fresh := rng.New(777)
+	before := fresh.State()
+	pop, err := cp.RestorePopulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.State() != before {
+		t.Fatal("RestorePopulation touched an unrelated stream")
+	}
+	if pop.Len() != 12 {
+		t.Fatalf("restored population size %d, want 12", pop.Len())
+	}
+	for i, ind := range pop.Members {
+		if !ind.Evaluated {
+			t.Fatalf("member %d lost its evaluated flag", i)
+		}
+	}
+	if got := pop.BestFitness(core.Maximize); got != wantBest {
+		t.Fatalf("restored best %v != checkpointed %v", got, wantBest)
+	}
+
+	// A replacement engine built on the fresh stream accepts the restored
+	// population and advances: its stream moves, and the checkpointed
+	// stream state is never replayed (first post-restart draws differ from
+	// the crashed timeline's).
+	e2 := ga.NewGenerational(ga.Config{
+		Problem:   problems.OneMax{N: 32},
+		PopSize:   12,
+		Crossover: operators.Uniform{},
+		Mutator:   operators.BitFlip{},
+		RNG:       fresh,
+	})
+	e2.SetPopulation(pop)
+	mid := fresh.State()
+	e2.Step()
+	if fresh.State() == mid {
+		t.Fatal("restarted engine did not advance its stream")
+	}
+	if cp.RNGState == before {
+		t.Fatal("fresh stream coincides with the checkpointed one")
+	}
+}
+
 func TestSetPopulationValidation(t *testing.T) {
 	e := ga.NewGenerational(ga.Config{
 		Problem: problems.OneMax{N: 8}, PopSize: 10,

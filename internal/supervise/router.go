@@ -1,0 +1,147 @@
+package supervise
+
+import (
+	"sync"
+
+	"pga/internal/topology"
+)
+
+// Router is a failure-aware view of an island topology. It implements
+// topology.Topology, serving the base graph's neighbour lists until demes
+// die; a dead deme is then healed *through*: its neighbours are routed
+// around it to the nearest live demes along base-graph paths, so the
+// migration graph keeps the connectivity the dead deme was providing
+// instead of simply severing its links (a ring with one dead deme is
+// still a ring of the survivors, not a chain).
+//
+// Router is safe for concurrent use: workers read neighbour lists while
+// the supervisor marks failures.
+type Router struct {
+	mu   sync.RWMutex
+	base topology.Topology
+	dead []bool
+	// adj caches the healed adjacency, rebuilt on every death.
+	adj [][]int
+}
+
+// NewRouter wraps a base topology with all demes alive.
+func NewRouter(base topology.Topology) *Router {
+	r := &Router{
+		base: base,
+		dead: make([]bool, base.Size()),
+	}
+	r.rebuild()
+	return r
+}
+
+var _ topology.Topology = (*Router)(nil)
+
+// Name implements topology.Topology.
+func (r *Router) Name() string { return "routed:" + r.base.Name() }
+
+// Size implements topology.Topology.
+func (r *Router) Size() int { return r.base.Size() }
+
+// Neighbors implements topology.Topology: the healed neighbour list of
+// deme i (empty when i is dead). The returned slice must not be modified.
+func (r *Router) Neighbors(i int) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.adj[i]
+}
+
+// Alive reports whether deme i is still alive.
+func (r *Router) Alive(i int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return !r.dead[i]
+}
+
+// AliveCount returns the number of live demes.
+func (r *Router) AliveCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, d := range r.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Dead returns the dead deme indices in ascending order.
+func (r *Router) Dead() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []int
+	for i, d := range r.dead {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Refresh recomputes the healed adjacency from the base topology — call
+// after a dynamic base topology has been rewired.
+func (r *Router) Refresh() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rebuild()
+}
+
+// MarkDead declares deme i dead and heals the graph around it.
+func (r *Router) MarkDead(i int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead[i] {
+		return
+	}
+	r.dead[i] = true
+	r.rebuild()
+}
+
+// rebuild recomputes the healed adjacency under r.mu: for each live deme,
+// a BFS that traverses dead demes (and only dead demes) replaces every
+// dead neighbour with the nearest live demes reachable through the dead
+// region. Self-loops and duplicates are dropped.
+func (r *Router) rebuild() {
+	n := r.base.Size()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if r.dead[i] {
+			adj[i] = nil
+			continue
+		}
+		seen := make(map[int]bool, 8)
+		var out []int
+		queue := make([]int, 0, 8)
+		for _, j := range r.base.Neighbors(i) {
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			queue = append(queue, j)
+		}
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if !r.dead[j] {
+				if j != i {
+					out = append(out, j)
+				}
+				continue
+			}
+			// j is dead: expand through it.
+			for _, k := range r.base.Neighbors(j) {
+				if !seen[k] {
+					seen[k] = true
+					queue = append(queue, k)
+				}
+			}
+		}
+		adj[i] = out
+	}
+	r.adj = adj
+}

@@ -67,6 +67,7 @@ import (
 	"pga/internal/problems"
 	"pga/internal/rng"
 	"pga/internal/sim"
+	"pga/internal/supervise"
 	"pga/internal/topology"
 )
 
@@ -286,6 +287,42 @@ type (
 	ReplaceWorstIfBetter = migration.ReplaceWorstIfBetter
 )
 
+// Fault tolerance (deme supervision; see internal/supervise).
+type (
+	// Resilience tunes the island supervision layer: checkpoint cadence,
+	// restart budget, heartbeat deadline, backoff and the async
+	// dead-letter retry bound. The zero value selects sensible defaults.
+	Resilience = supervise.Config
+	// FaultPlan deterministically injects panics and hangs at exact
+	// (deme, generation) coordinates — the testing harness behind the
+	// supervision layer.
+	FaultPlan = supervise.FaultPlan
+	// Fault is one scripted fault of a FaultPlan.
+	Fault = supervise.Fault
+	// FaultKind classifies an injected fault.
+	FaultKind = supervise.FaultKind
+	// DemeFailure is the typed event a supervised deme failure becomes.
+	DemeFailure = supervise.DemeFailure
+	// FailureKind classifies a deme failure.
+	FailureKind = supervise.FailureKind
+)
+
+// Fault and failure kinds.
+const (
+	// FaultPanic panics inside the deme's step.
+	FaultPanic = supervise.FaultPanic
+	// FaultHang stalls the deme's step past the heartbeat deadline.
+	FaultHang = supervise.FaultHang
+	// FailurePanic is a recovered step panic.
+	FailurePanic = supervise.FailurePanic
+	// FailureTimeout is a missed heartbeat deadline.
+	FailureTimeout = supervise.FailureTimeout
+)
+
+// NewFaultPlan returns an empty fault-injection plan; chain PanicAt,
+// PanicTimes and HangAt to script faults.
+func NewFaultPlan() *FaultPlan { return supervise.NewFaultPlan() }
+
 // IslandConfig configures an island-model (coarse-grained) PGA.
 type IslandConfig struct {
 	// Demes is the number of islands.
@@ -299,6 +336,14 @@ type IslandConfig struct {
 	Migration Migration
 	// Seed seeds the whole model.
 	Seed uint64
+	// Resilience enables deme supervision for RunParallel: panic
+	// recovery, checkpoint/restart, hang detection, topology healing.
+	// nil runs unsupervised (set automatically when Faults is non-nil).
+	Resilience *Resilience
+	// Faults optionally injects deterministic faults into a supervised
+	// run (testing and experiments; ignored when Resilience is nil and
+	// Faults is nil).
+	Faults *FaultPlan
 }
 
 // IslandModel is the coarse-grained PGA (re-exported).
@@ -334,29 +379,37 @@ func buildTopology(kind TopologyKind, n int) topology.Topology {
 
 // NewIslands builds an island model with identical generational demes.
 func NewIslands(cfg IslandConfig) *IslandModel {
-	if cfg.Demes == 0 {
-		cfg.Demes = 4
-	}
 	gaCfg := cfg.GA
-	return NewIslandsWithEngines(cfg.Demes, cfg.Topology, cfg.Migration, cfg.Seed,
-		func(deme int, r *RNG) Engine {
-			c := gaCfg
-			c.RNG = r
-			return ga.NewGenerational(c)
-		})
+	return NewIslandsWithEngines(cfg, func(deme int, r *RNG) Engine {
+		c := gaCfg
+		c.RNG = r
+		return ga.NewGenerational(c)
+	})
 }
 
 // NewIslandsWithEngines builds an island model with a custom per-deme
 // engine factory — for heterogeneous demes (Alba & Troya 2002's mixed
 // schemes), cellular demes, or the hybrid model where each deme evaluates
 // through its own master–slave farm (the cluster-of-SMPs pattern of the
-// survey's §3.3).
-func NewIslandsWithEngines(demes int, kind TopologyKind, pol Migration, seed uint64, newEngine func(deme int, r *RNG) Engine) *IslandModel {
+// survey's §3.3). The factory replaces the GA field of cfg; everything
+// else (topology, migration, seed, resilience) applies unchanged, and the
+// factory is also what supervision uses to rebuild a crashed deme.
+func NewIslandsWithEngines(cfg IslandConfig, newEngine func(deme int, r *RNG) Engine) *IslandModel {
+	if cfg.Demes == 0 {
+		cfg.Demes = 4
+	}
+	res := cfg.Resilience
+	if res == nil && cfg.Faults != nil {
+		// A fault plan without explicit tuning still wants supervision.
+		res = &Resilience{}
+	}
 	return island.New(island.Config{
-		Topology:  buildTopology(kind, demes),
-		Policy:    pol,
-		NewEngine: func(deme int, r *rng.Source) ga.Engine { return newEngine(deme, r) },
-		Seed:      seed,
+		Topology:   buildTopology(cfg.Topology, cfg.Demes),
+		Policy:     cfg.Migration,
+		NewEngine:  func(deme int, r *rng.Source) ga.Engine { return newEngine(deme, r) },
+		Seed:       cfg.Seed,
+		Resilience: res,
+		Faults:     cfg.Faults,
 	})
 }
 

@@ -269,6 +269,59 @@ func TestFacadeParallelGenerational(t *testing.T) {
 	e2.Step()
 }
 
+func TestFacadeSupervisedIslands(t *testing.T) {
+	prob := OneMax(48)
+	cfg := IslandConfig{
+		Demes:    4,
+		Topology: Ring,
+		GA: GAConfig{
+			Problem:   prob,
+			PopSize:   25,
+			Crossover: UniformCrossover{},
+			Mutator:   BitFlip{},
+		},
+		Migration:  Migration{Interval: 5, Count: 2, Sync: true},
+		Seed:       14,
+		Resilience: &Resilience{CheckpointEvery: 5, MaxRestarts: 3},
+		Faults:     NewFaultPlan().PanicAt(1, 4),
+	}
+	res := NewIslands(cfg).RunParallel(300, false)
+	if !res.Solved {
+		t.Fatalf("supervised facade run failed: %v", res.BestFitness)
+	}
+	if res.PanicsRecovered < 1 || res.Restarts < 1 {
+		t.Fatalf("injected panic not recovered: %+v", res)
+	}
+	if len(res.Failures) == 0 || res.Failures[0].Kind != FailurePanic {
+		t.Fatalf("failure log wrong: %+v", res.Failures)
+	}
+}
+
+func TestFacadeFaultPlanImpliesSupervision(t *testing.T) {
+	// A fault plan without explicit Resilience still runs supervised
+	// (otherwise the injected panic would crash the process).
+	prob := OneMax(32)
+	res := NewIslands(IslandConfig{
+		Demes:    4,
+		Topology: Ring,
+		GA: GAConfig{
+			Problem:   prob,
+			PopSize:   20,
+			Crossover: UniformCrossover{},
+			Mutator:   BitFlip{},
+		},
+		Migration: Migration{Interval: 5, Count: 1, Sync: true},
+		Seed:      15,
+		Faults:    NewFaultPlan().PanicAt(0, 2),
+	}).RunParallel(300, false)
+	if res.PanicsRecovered != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", res.PanicsRecovered)
+	}
+	if !res.Solved {
+		t.Fatalf("run did not recover: %v", res.BestFitness)
+	}
+}
+
 func TestFacadeERX(t *testing.T) {
 	r := NewRNG(13)
 	a := &Permutation{Perm: r.Perm(10)}
