@@ -1,0 +1,33 @@
+# Development gates. CI (.github/workflows/ci.yml) runs the same steps;
+# `make lint` is the contributor-facing one-liner for the static gate.
+
+GO ?= go
+
+.PHONY: all build test race bench lint fuzz
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race coverage for every concurrent runtime.
+race:
+	$(GO) test -race ./internal/island/... ./internal/supervise/... \
+		./internal/masterslave/... ./internal/cellular/... ./internal/p2p/... \
+		./internal/cluster/... ./internal/hga/... ./internal/ga/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Static gate: pgalint (determinism + concurrency contracts) and vet,
+# including explicit copylocks/unusedresult passes.
+lint:
+	$(GO) run ./cmd/pgalint ./...
+	$(GO) vet ./...
+	$(GO) vet -copylocks -unusedresult ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshalPopulation -fuzztime=30s ./internal/persist/

@@ -1,0 +1,139 @@
+// Command pgalint runs the framework's static-analysis suite
+// (internal/analysis) over the module: determinism and concurrency
+// contracts the compiler cannot check.
+//
+// Usage:
+//
+//	pgalint [-json] [-rules] [packages]
+//
+// With no arguments it lints every package of the enclosing module
+// (equivalent to ./...). Package patterns are module-relative:
+// "./...", "./internal/...", "./internal/island". Exit status is 0 when
+// no findings survive suppression, 1 when there are findings, and 2 on a
+// load failure.
+//
+// Suppress a finding with a justification comment on or directly above
+// the offending line:
+//
+//	//pgalint:ignore rule why this specific pattern is provably safe
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pga/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	rules := flag.Bool("rules", false, "list the registered rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pgalint [-json] [-rules] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	registry := analysis.Registry()
+	if *rules {
+		for _, a := range registry {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	pkgs, err := filterPackages(mod, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.RunAnalyzers(mod.Root, pkgs, registry)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "pgalint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// filterPackages selects the module packages matching the command-line
+// patterns. Patterns are module-relative paths, with "..." matching any
+// suffix; no patterns (or "./...") selects everything. A pattern that
+// matches nothing is an error — a typo'd path in CI must not silently
+// gate zero packages.
+func filterPackages(mod *analysis.Module, patterns []string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		return mod.Pkgs, nil
+	}
+	var out []*analysis.Package
+	seen := map[string]bool{}
+	for _, raw := range patterns {
+		pat := strings.TrimPrefix(raw, "./")
+		pat = strings.TrimSuffix(pat, "/")
+		matched := false
+		for _, pkg := range mod.Pkgs {
+			if !matchPattern(mod.Path, pat, pkg.Path) {
+				continue
+			}
+			matched = true
+			if !seen[pkg.Path] {
+				seen[pkg.Path] = true
+				out = append(out, pkg)
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", raw)
+		}
+	}
+	return out, nil
+}
+
+// matchPattern matches a module-relative pattern against an import path.
+func matchPattern(modPath, pat, pkgPath string) bool {
+	if pat == "..." || pat == "." {
+		return true
+	}
+	full := modPath
+	if base := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/"); base != "" {
+		full = modPath + "/" + base
+	}
+	if strings.HasSuffix(pat, "...") {
+		return pkgPath == full || strings.HasPrefix(pkgPath, full+"/")
+	}
+	return pkgPath == full
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pgalint: %v\n", err)
+	os.Exit(2)
+}

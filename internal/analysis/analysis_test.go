@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixturePkgPaths assigns each fixture the import path it is checked
+// under — the rules are path-sensitive (scopes, allowlists, exemptions).
+var fixturePkgPaths = map[string]string{
+	"norawrand_bad.go":    "pga/internal/operators",
+	"norawrand_ok.go":     "pga/internal/operators",
+	"nowallclock_bad.go":  "pga/internal/operators",
+	"nowallclock_ok.go":   "pga/internal/ga",
+	"blockingsend_bad.go": "pga/internal/p2p",
+	"blockingsend_ok.go":  "pga/internal/supervise",
+	"sharedrng_bad.go":    "pga/internal/rng",
+	"sharedrng_ok.go":     "pga/internal/rng",
+	"ctxleak_bad.go":      "pga/internal/cluster",
+	"ctxleak_ok.go":       "pga/internal/cluster",
+	"ignore.go":           "pga/internal/p2p",
+}
+
+// The fixture loader shares one file set, one stdlib source importer and
+// one parse cache across the test binary; stdlib packages are
+// type-checked from source once.
+var (
+	fixtureFset  = token.NewFileSet()
+	fixtureStd   = importer.ForCompiler(fixtureFset, "source", nil)
+	parsedCache  = map[string]*ast.File{}
+	checkedCache = map[string]*Package{}
+)
+
+// parseFixture parses testdata/name once.
+func parseFixture(t *testing.T, name string) *ast.File {
+	t.Helper()
+	if f, ok := parsedCache[name]; ok {
+		return f
+	}
+	path := filepath.Join("testdata", name)
+	f, err := parser.ParseFile(fixtureFset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	parsedCache[name] = f
+	return f
+}
+
+// loadFixtureAs type-checks testdata/name as a single-file package with
+// the given import path.
+func loadFixtureAs(t *testing.T, name, pkgPath string) *Package {
+	t.Helper()
+	key := name + "@" + pkgPath
+	if p, ok := checkedCache[key]; ok {
+		return p
+	}
+	pkg := &Package{
+		Path:  pkgPath,
+		Dir:   "testdata",
+		Fset:  fixtureFset,
+		Files: []*ast.File{parseFixture(t, name)},
+	}
+	checkPackage(pkg, fixtureStd)
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s (%s): type errors: %v", name, pkgPath, pkg.TypeErrors)
+	}
+	checkedCache[key] = pkg
+	return pkg
+}
+
+// loadFixture loads testdata/name under its default import path.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkgPath, ok := fixturePkgPaths[name]
+	if !ok {
+		t.Fatalf("fixture %s has no entry in fixturePkgPaths", name)
+	}
+	return loadFixtureAs(t, name, pkgPath)
+}
+
+// runFixture runs one analyzer over one fixture.
+func runFixture(t *testing.T, a *Analyzer, name string) []Diagnostic {
+	t.Helper()
+	return RunAnalyzers("", []*Package{loadFixture(t, name)}, []*Analyzer{a})
+}
+
+// wantLines scans a fixture for `// want rule1 rule2` markers and
+// returns the line numbers expecting a finding of rule.
+func wantLines(t *testing.T, name, rule string) map[int]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("read fixture %s: %v", name, err)
+	}
+	want := map[int]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		_, marker, ok := strings.Cut(line, "// want ")
+		if !ok {
+			continue
+		}
+		for _, r := range strings.Fields(marker) {
+			if r == rule {
+				want[i+1] = true
+			}
+		}
+	}
+	return want
+}
+
+// checkRule asserts that analyzer a reports on exactly the fixture lines
+// marked `// want <rule>` — the seeded violations are caught and the
+// corrected code stays silent.
+func checkRule(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	diags := runFixture(t, a, fixture)
+	want := wantLines(t, fixture, a.Name)
+	got := map[int]bool{}
+	for _, d := range diags {
+		if d.Rule != a.Name {
+			t.Errorf("%s: diagnostic with rule %q from analyzer %q", fixture, d.Rule, a.Name)
+		}
+		got[d.Line] = true
+	}
+	for line := range want {
+		if !got[line] {
+			t.Errorf("%s:%d: expected a %s finding, got none", fixture, line, a.Name)
+		}
+	}
+	for _, d := range diags {
+		if !want[d.Line] {
+			t.Errorf("%s:%d: unexpected finding: %s", fixture, d.Line, d)
+		}
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	// ignore.go holds four bare sends: three suppressed (above-line,
+	// same-line, "all"), one covered only by a misdirected ignore.
+	checkRule(t, BlockingSend(), "ignore.go")
+	diags := runFixture(t, BlockingSend(), "ignore.go")
+	if len(diags) != 1 {
+		t.Fatalf("ignore.go: want exactly 1 surviving finding, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestPathMatch(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"pga/internal/rng", "pga/internal/rng", true},
+		{"pga/internal/rng", "pga/internal/rng2", false},
+		{"pga/cmd/...", "pga/cmd/pgalint", true},
+		{"pga/cmd/...", "pga/cmd", true},
+		{"pga/cmd/...", "pga/cmdx", false},
+		{"pga/internal/...", "pga/internal/island", true},
+	}
+	for _, c := range cases {
+		if got := pathMatch(c.pattern, c.path); got != c.want {
+			t.Errorf("pathMatch(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}
+
+// TestRepositoryIsClean is the same gate CI runs via `go run
+// ./cmd/pgalint ./...`: the module itself must satisfy its own
+// determinism and concurrency contracts (modulo justified ignores).
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, te := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, te)
+		}
+	}
+	diags := RunAnalyzers(mod.Root, mod.Pkgs, Registry())
+	for _, d := range diags {
+		t.Errorf("repository violation: %s", d)
+	}
+}
+
+func TestLoadModuleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "pga" {
+		t.Fatalf("module path = %q, want pga", mod.Path)
+	}
+	seen := map[string]int{}
+	for i, pkg := range mod.Pkgs {
+		seen[pkg.Path] = i
+	}
+	for _, path := range []string{"pga", "pga/internal/rng", "pga/internal/island", "pga/cmd/pgalint"} {
+		if _, ok := seen[path]; !ok {
+			t.Errorf("LoadModule missed package %s", path)
+		}
+	}
+	// Dependency-first order: rng precedes island, which precedes pga.
+	if !(seen["pga/internal/rng"] < seen["pga/internal/island"] && seen["pga/internal/island"] < seen["pga"]) {
+		t.Errorf("packages not in dependency order: rng=%d island=%d pga=%d",
+			seen["pga/internal/rng"], seen["pga/internal/island"], seen["pga"])
+	}
+}

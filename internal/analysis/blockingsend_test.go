@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+func TestBlockingSend(t *testing.T) {
+	tests := []struct {
+		name    string
+		fixture string
+	}{
+		{"flags bare and escapeless sends", "blockingsend_bad.go"},
+		{"silent on default and escape selects", "blockingsend_ok.go"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			checkRule(t, BlockingSend(), tc.fixture)
+		})
+	}
+}
+
+func TestBlockingSendScopedToCommunicationPackages(t *testing.T) {
+	// Pure-compute packages may use channels freely; the rule exists for
+	// the inter-deme communication runtimes.
+	pkg := loadFixtureAs(t, "blockingsend_bad.go", "pga/internal/genome")
+	diags := RunAnalyzers("", []*Package{pkg}, []*Analyzer{BlockingSend()})
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package still reported: %v", diags)
+	}
+}

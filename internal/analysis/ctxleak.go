@@ -1,0 +1,176 @@
+package analysis
+
+// ctxleak: every goroutine must be joinable or cancellable.
+//
+// PR 1 added goroutine-leak tests to the runtimes; this rule is the
+// static counterpart. A `go` statement whose function neither registers
+// with a sync.WaitGroup (so somebody joins it) nor receives from a
+// done/ctx channel (so somebody can stop it) is a goroutine that can
+// outlive its run — holding engine state alive, double-stepping a deme
+// after a supervisor restart, or deadlocking process shutdown. The
+// supervised runtimes abandon exactly one goroutine by design (the
+// heartbeat-supervised step), and that site carries an explicit
+// pgalint:ignore with its safety argument.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxLeak builds the ctxleak analyzer.
+func CtxLeak() *Analyzer {
+	return &Analyzer{
+		Name: "ctxleak",
+		Doc: "flags go statements whose function body is neither WaitGroup-registered " +
+			"nor receives from a done/ctx channel; such goroutines can leak past the " +
+			"run that spawned them",
+		Run: runCtxLeak,
+	}
+}
+
+func runCtxLeak(pass *Pass) {
+	decls := localFuncDecls(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, decls, g)
+			if body == nil {
+				// Cross-package or dynamic target: not verifiable here.
+				return true
+			}
+			if !isSupervisedBody(pass, body) {
+				pass.Reportf(g.Pos(), "ctxleak",
+					"goroutine is neither WaitGroup-registered nor receives from a "+
+						"done/ctx channel; it can leak past the run that spawned it "+
+						"(join it with a WaitGroup or give it a cancellation channel)")
+			}
+			return true
+		})
+	}
+}
+
+// localFuncDecls indexes this package's function declarations by their
+// type object, so `go step()` targets can be resolved to a body.
+func localFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// goBody resolves the body of the function a go statement spawns:
+// a literal closure directly, or a same-package named function/method.
+func goBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// isSupervisedBody reports whether body contains evidence the goroutine
+// is joinable or cancellable: a (*sync.WaitGroup).Done call, any channel
+// receive (done-channel discipline), a range over a channel, a select
+// statement, or a close of a done channel (the close-to-join idiom —
+// `go func() { defer close(done); ... }(); <-done`). A bare channel
+// *send* is deliberately not evidence: sending into a full or abandoned
+// buffer is itself the leak-and-deadlock vector.
+func isSupervisedBody(pass *Pass, body *ast.BlockStmt) bool {
+	supervised := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if supervised {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupDone(pass, e) || isBuiltinClose(pass, e) {
+				supervised = true
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				supervised = true
+			}
+		case *ast.RangeStmt:
+			if isChannelType(pass, e.X) {
+				supervised = true
+			}
+		case *ast.SelectStmt:
+			supervised = true
+		}
+		return !supervised
+	})
+	return supervised
+}
+
+// isWaitGroupDone reports whether call is wg.Done() on a sync.WaitGroup.
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok {
+		// Partial type info: accept the syntactic wg.Done() convention.
+		id, isIdent := sel.X.(*ast.Ident)
+		return isIdent && (id.Name == "wg" || id.Name == "group")
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isBuiltinClose reports whether call is the builtin close(ch).
+func isBuiltinClose(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	if obj, ok := pass.Info.Uses[id]; ok {
+		_, isBuiltin := obj.(*types.Builtin)
+		return isBuiltin
+	}
+	// Partial type info: trust the name.
+	return true
+}
+
+// isChannelType reports whether expr has channel type.
+func isChannelType(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,18 @@
+package analysis
+
+import "testing"
+
+func TestCtxLeak(t *testing.T) {
+	tests := []struct {
+		name    string
+		fixture string
+	}{
+		{"flags unjoinable fire-and-forget goroutines", "ctxleak_bad.go"},
+		{"silent on joined and cancellable goroutines", "ctxleak_ok.go"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			checkRule(t, CtxLeak(), tc.fixture)
+		})
+	}
+}

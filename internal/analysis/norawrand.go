@@ -1,0 +1,107 @@
+package analysis
+
+// norawrand: all randomness must flow through internal/rng.
+//
+// The survey's experiments replay bit-for-bit because every deme, worker
+// and operator draws from its own seeded, splittable *rng.Source stream
+// split deterministically from the master seed. One call into the
+// globally-seeded math/rand (or, worse, crypto/rand) anywhere on an
+// evolution path silently breaks that guarantee while every test still
+// passes — exactly the class of regression a linter has to catch.
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// forbiddenRandImports are the import paths norawrand rejects. math/rand
+// and math/rand/v2 carry process-global, racy default sources;
+// crypto/rand is nondeterministic by construction.
+var forbiddenRandImports = map[string]string{
+	"math/rand":    "process-global seeding breaks seeded replay",
+	"math/rand/v2": "process-global seeding breaks seeded replay",
+	"crypto/rand":  "nondeterministic by construction",
+}
+
+// NoRawRandConfig configures the norawrand analyzer.
+type NoRawRandConfig struct {
+	// ExemptPaths are import-path patterns (exact or "prefix/...") where
+	// the forbidden imports are allowed. internal/rng itself is the only
+	// default exemption: it is the one place allowed to own generator
+	// internals.
+	ExemptPaths []string
+}
+
+// DefaultNoRawRandConfig returns the repository's production policy.
+func DefaultNoRawRandConfig() NoRawRandConfig {
+	return NoRawRandConfig{ExemptPaths: []string{"pga/internal/rng"}}
+}
+
+// NoRawRand builds the norawrand analyzer with the default configuration.
+func NoRawRand() *Analyzer { return NoRawRandWith(DefaultNoRawRandConfig()) }
+
+// NoRawRandWith builds the norawrand analyzer with cfg (test hook).
+func NoRawRandWith(cfg NoRawRandConfig) *Analyzer {
+	return &Analyzer{
+		Name: "norawrand",
+		Doc: "forbids math/rand, math/rand/v2 and crypto/rand outside internal/rng; " +
+			"all randomness must come from seeded, splittable *rng.Source streams " +
+			"so runs replay bit-for-bit per seed",
+		Run: func(pass *Pass) {
+			for _, pattern := range cfg.ExemptPaths {
+				if pathMatch(pattern, pass.PkgPath) {
+					return
+				}
+			}
+			for _, file := range pass.Files {
+				for _, imp := range file.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					why, forbidden := forbiddenRandImports[path]
+					if !forbidden {
+						continue
+					}
+					pass.Reportf(imp.Pos(), "norawrand",
+						"import of %q (%s); draw randomness from a seeded *rng.Source (internal/rng) instead",
+						path, why)
+					// Also flag each use so the offending call sites are
+					// visible, not just the import line.
+					reportRandUses(pass, file, imp)
+				}
+			}
+		},
+	}
+}
+
+// reportRandUses flags selector uses of the forbidden import (e.g.
+// rand.New, rand.Intn) within file.
+func reportRandUses(pass *Pass, file *ast.File, imp *ast.ImportSpec) {
+	path, _ := strconv.Unquote(imp.Path.Value)
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkg := usedPackage(pass.Info, id); pkg != nil && pkg.Path() == path {
+			pass.Reportf(sel.Pos(), "norawrand",
+				"use of %s.%s; replace with the equivalent *rng.Source method",
+				lastSegment(path), sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// lastSegment returns the final element of an import path.
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

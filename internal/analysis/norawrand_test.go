@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+func TestNoRawRand(t *testing.T) {
+	tests := []struct {
+		name    string
+		fixture string
+	}{
+		{"flags raw rand imports and uses", "norawrand_bad.go"},
+		{"silent on seeded streams", "norawrand_ok.go"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			checkRule(t, NoRawRand(), tc.fixture)
+		})
+	}
+}
+
+func TestNoRawRandExemptsRNGPackage(t *testing.T) {
+	// The same violating file is legal inside internal/rng: that package
+	// owns generator internals.
+	pkg := loadFixtureAs(t, "norawrand_bad.go", "pga/internal/rng")
+	diags := RunAnalyzers("", []*Package{pkg}, []*Analyzer{NoRawRand()})
+	if len(diags) != 0 {
+		t.Fatalf("exempt package still reported: %v", diags)
+	}
+}

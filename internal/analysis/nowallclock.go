@@ -1,0 +1,159 @@
+package analysis
+
+// nowallclock: evolution paths must not observe the wall clock.
+//
+// A time.Now (or timer, or sleep) inside a generation step, a genetic
+// operator or a fitness function makes the trajectory depend on machine
+// load and scheduling — the numbers stop replaying, and worse, they stop
+// meaning anything when used for the speedup methodology of Alba & Luque
+// (measuring parallel speedup requires the algorithm itself to be
+// schedule-independent). Wall-clock access is legitimate only in run
+// orchestration (measuring Elapsed around a run), in stats/experiment
+// harness code, and in the supervision layer whose whole purpose is
+// timeouts. Those places form an explicit allowlist; everything else is a
+// violation.
+
+import (
+	"go/ast"
+)
+
+// forbiddenClockCalls are the time-package functions that observe or
+// depend on real time. time.Duration arithmetic and constants stay legal
+// everywhere — types are not clocks.
+var forbiddenClockCalls = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+// NoWallClockConfig configures the nowallclock analyzer.
+type NoWallClockConfig struct {
+	// Allow lists where wall-clock access is permitted. Entries are
+	// either package patterns ("pga/internal/stats", "pga/cmd/...") or
+	// package-qualified function names ("pga/internal/ga.Run"), matching
+	// the enclosing function or method name regardless of receiver.
+	Allow []string
+}
+
+// DefaultNoWallClockConfig returns the repository's production policy:
+// timing is orchestration-and-observation only.
+func DefaultNoWallClockConfig() NoWallClockConfig {
+	return NoWallClockConfig{Allow: []string{
+		// Command-line drivers and runnable examples time whole runs.
+		"pga/cmd/...",
+		"pga/examples/...",
+		// Experiment harness and statistics report wall-clock results.
+		"pga/internal/exp",
+		"pga/internal/stats",
+		// The supervision layer exists to impose deadlines and backoff.
+		"pga/internal/supervise",
+		// Run-orchestration entry points: they time Elapsed around the
+		// (deterministic) evolution loop, never inside a step.
+		"pga/internal/ga.Run",
+		"pga/internal/hga.Run",
+		"pga/internal/p2p.Run",
+		"pga/internal/island.RunSequential",
+		"pga/internal/island.runParallelSync",
+		"pga/internal/island.runParallelAsync",
+		"pga/internal/island.runParallelSyncSupervised",
+		"pga/internal/island.runParallelAsyncSupervised",
+		"pga/internal/island.finish",
+	}}
+}
+
+// NoWallClock builds the nowallclock analyzer with the default
+// configuration.
+func NoWallClock() *Analyzer { return NoWallClockWith(DefaultNoWallClockConfig()) }
+
+// NoWallClockWith builds the nowallclock analyzer with cfg (test hook).
+func NoWallClockWith(cfg NoWallClockConfig) *Analyzer {
+	return &Analyzer{
+		Name: "nowallclock",
+		Doc: "forbids time.Now/Since/timers/sleeps outside the orchestration-and-stats " +
+			"allowlist; wall-clock reads inside generation-step, operator or fitness " +
+			"code leak scheduling nondeterminism into the evolution trajectory",
+		Run: func(pass *Pass) {
+			if allowedEverywhere(cfg.Allow, pass.PkgPath) {
+				return
+			}
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || !forbiddenClockCalls[sel.Sel.Name] {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pkg := usedPackage(pass.Info, id)
+					if pkg == nil || pkg.Path() != "time" {
+						return true
+					}
+					if fd := enclosingFunc(file, sel.Pos()); fd != nil &&
+						allowedFunc(cfg.Allow, pass.PkgPath, fd.Name.Name) {
+						return true
+					}
+					pass.Reportf(sel.Pos(), "nowallclock",
+						"time.%s leaks wall-clock nondeterminism into an evolution path; "+
+							"timing belongs in run orchestration or stats (see the nowallclock allowlist)",
+						sel.Sel.Name)
+					return true
+				})
+			}
+		},
+	}
+}
+
+// allowedEverywhere reports whether a whole package is allowlisted.
+func allowedEverywhere(allow []string, pkgPath string) bool {
+	for _, entry := range allow {
+		if !hasFuncQualifier(entry) && pathMatch(entry, pkgPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedFunc reports whether pkgPath.fn is allowlisted by a
+// function-qualified entry.
+func allowedFunc(allow []string, pkgPath, fn string) bool {
+	for _, entry := range allow {
+		if entry == pkgPath+"."+fn {
+			return true
+		}
+	}
+	return false
+}
+
+// hasFuncQualifier reports whether entry names a function rather than a
+// package: a dot after the final slash.
+func hasFuncQualifier(entry string) bool {
+	last := entry
+	if i := lastSlash(entry); i >= 0 {
+		last = entry[i+1:]
+	}
+	for i := 0; i < len(last); i++ {
+		if last[i] == '.' {
+			// "..." wildcard is a path element, not a qualifier.
+			return last[i:] != "..."
+		}
+	}
+	return false
+}
+
+// lastSlash returns the index of the final '/' in s, or -1.
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

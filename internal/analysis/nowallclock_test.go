@@ -1,0 +1,38 @@
+package analysis
+
+import "testing"
+
+func TestNoWallClock(t *testing.T) {
+	tests := []struct {
+		name    string
+		fixture string
+	}{
+		{"flags clock reads in operator code", "nowallclock_bad.go"},
+		{"silent in allowlisted Run orchestration", "nowallclock_ok.go"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			checkRule(t, NoWallClock(), tc.fixture)
+		})
+	}
+}
+
+func TestNoWallClockPackageAllowlist(t *testing.T) {
+	// The violating file is legal wholesale in stats code: reporting
+	// wall-clock results is that package's job.
+	pkg := loadFixtureAs(t, "nowallclock_bad.go", "pga/internal/stats")
+	diags := RunAnalyzers("", []*Package{pkg}, []*Analyzer{NoWallClock()})
+	if len(diags) != 0 {
+		t.Fatalf("allowlisted package still reported: %v", diags)
+	}
+}
+
+func TestNoWallClockFunctionAllowlistIsExact(t *testing.T) {
+	// nowallclock_ok.go relies on the pga/internal/ga.Run entry; the same
+	// file under a different package path must be flagged.
+	pkg := loadFixtureAs(t, "nowallclock_ok.go", "pga/internal/operators")
+	diags := RunAnalyzers("", []*Package{pkg}, []*Analyzer{NoWallClock()})
+	if len(diags) != 2 { // time.Now + time.Since in Run
+		t.Fatalf("want 2 findings outside the allowlisted package, got %d: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+// sharedrng: one goroutine, one stream.
+//
+// internal/rng.Source is deliberately not synchronized: the whole point
+// of splittable streams is that deme i's stream is private to deme i's
+// goroutine, making parallel runs reproducible regardless of scheduling.
+// A *rng.Source (or *math/rand.Rand) captured by a `go func` closure AND
+// also used outside that goroutine is a data race that `go test -race`
+// only catches when the schedules actually collide — and even when it
+// doesn't crash, interleaved draws destroy replayability silently. The
+// fix is always the same: Split() a child stream and move it into the
+// goroutine, or pass the stream as a call argument evaluated at spawn.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SharedRNG builds the sharedrng analyzer.
+func SharedRNG() *Analyzer {
+	return &Analyzer{
+		Name: "sharedrng",
+		Doc: "flags an *rng.Source or *rand.Rand captured by a go-closure while also " +
+			"referenced outside it — a data race -race only catches when schedules " +
+			"collide, and a silent determinism break even when it does not",
+		Run: runSharedRNG,
+	}
+}
+
+func runSharedRNG(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFuncForSharedRNG(pass, fd)
+			return true
+		})
+	}
+}
+
+// rngCapture is one RNG-typed variable captured by one go-closure.
+type rngCapture struct {
+	obj *types.Var
+	lit *ast.FuncLit
+	id  *ast.Ident // first capturing identifier, for reporting
+}
+
+// checkFuncForSharedRNG inspects one function body: collects RNG streams
+// captured by `go func(){...}()` closures, then reports any that are
+// also referenced outside their goroutine.
+func checkFuncForSharedRNG(pass *Pass, fd *ast.FuncDecl) {
+	var captures []rngCapture
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		seen := map[*types.Var]bool{}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok || obj.IsField() || seen[obj] {
+				return true
+			}
+			// Captured = declared outside the closure.
+			if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+				return true
+			}
+			if !isRNGStream(obj.Type()) {
+				return true
+			}
+			seen[obj] = true
+			captures = append(captures, rngCapture{obj: obj, lit: lit, id: id})
+			return true
+		})
+		return true
+	})
+
+	for _, cap := range captures {
+		if usedOutsideClosure(pass, fd, cap) {
+			pass.Reportf(cap.id.Pos(), "sharedrng",
+				"rng stream %q is captured by this goroutine and also used outside it; "+
+					"Split() a child stream per goroutine (or pass it as a call argument)",
+				cap.obj.Name())
+		}
+	}
+}
+
+// usedOutsideClosure reports whether cap.obj is referenced anywhere in fd
+// outside cap.lit. The defining identifier does not count (info.Defs, not
+// Uses), so the canonical `child := r.Split(); go func(){ child... }()`
+// ownership transfer stays clean.
+func usedOutsideClosure(pass *Pass, fd *ast.FuncDecl, cap rngCapture) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == ast.Node(cap.lit) {
+			return false // skip the goroutine's own body
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == types.Object(cap.obj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isRNGStream reports whether t is a pointer to an unsynchronized random
+// stream: internal/rng's Source or math/rand's Rand (either version).
+func isRNGStream(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Name() == "Source" && obj.Pkg().Name() == "rng":
+		return true
+	case obj.Name() == "Rand" && obj.Pkg().Name() == "rand":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package analysis
+
+import "testing"
+
+func TestSharedRNG(t *testing.T) {
+	tests := []struct {
+		name    string
+		fixture string
+	}{
+		{"flags streams shared across goroutines", "sharedrng_bad.go"},
+		{"silent on moved-in and argument streams", "sharedrng_ok.go"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			checkRule(t, SharedRNG(), tc.fixture)
+		})
+	}
+}

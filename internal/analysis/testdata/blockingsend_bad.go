@@ -1,0 +1,25 @@
+package fixture
+
+// Seeded violation fixture for blockingsend: sends in a communication
+// package (checked as pga/internal/p2p) that can block forever.
+
+func emigrate(out chan<- int, batch int) {
+	out <- batch // want blockingsend
+}
+
+func relay(in <-chan int, out chan<- int) {
+	for v := range in {
+		select {
+		case out <- v: // want blockingsend
+		case out <- v + 1: // want blockingsend
+		}
+	}
+}
+
+func sendInCaseBody(trigger <-chan int, out chan<- int) {
+	select {
+	case v := <-trigger:
+		out <- v // want blockingsend
+	default:
+	}
+}

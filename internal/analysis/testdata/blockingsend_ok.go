@@ -1,0 +1,40 @@
+package fixture
+
+// Corrected fixture for blockingsend: every send sits in a select that
+// cannot block — default case, ctx escape or timeout escape. Checked as
+// pga/internal/supervise (in scope for blockingsend, allowlisted for
+// nowallclock, whose timer use is legitimate there).
+
+import (
+	"context"
+	"time"
+)
+
+func emigrateNonBlocking(out chan<- int, batch int) bool {
+	select {
+	case out <- batch:
+		return true
+	default:
+		return false // receiver's buffer full: drop, never block evolution
+	}
+}
+
+func emigrateCtx(ctx context.Context, out chan<- int, batch int) bool {
+	select {
+	case out <- batch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func emigrateTimeout(out chan<- int, batch int) bool {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case out <- batch:
+		return true
+	case <-t.C:
+		return false
+	}
+}

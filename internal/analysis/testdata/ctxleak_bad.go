@@ -1,0 +1,22 @@
+package fixture
+
+// Seeded violation fixture for ctxleak: fire-and-forget goroutines with
+// no join and no cancellation path.
+
+var sink int
+
+func fireAndForget(n int) {
+	go func() { // want ctxleak
+		sink = n
+	}()
+}
+
+func spin() {
+	for i := 0; i < 3; i++ {
+		sink++
+	}
+}
+
+func spawnNamed() {
+	go spin() // want ctxleak
+}

@@ -1,0 +1,63 @@
+package fixture
+
+// Corrected fixture for ctxleak: goroutines that are joinable
+// (WaitGroup) or cancellable (ctx/done channel, channel drain).
+
+import (
+	"context"
+	"sync"
+)
+
+var observed int
+
+func joined(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		observed = n
+	}()
+	wg.Wait()
+}
+
+func cancellable(ctx context.Context, work <-chan int) {
+	go func() {
+		for {
+			select {
+			case v, ok := <-work:
+				if !ok {
+					return
+				}
+				observed = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func drainer(work <-chan int) {
+	go func() {
+		for v := range work { // exits when the producer closes work
+			observed = v
+		}
+	}()
+}
+
+func closeToJoin(n int) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done) // the close-to-join idiom counts as joinable
+		observed = n
+	}()
+	<-done
+}
+
+func waitDone(done <-chan struct{}) {
+	<-done
+	observed++
+}
+
+func pump(done <-chan struct{}) {
+	go waitDone(done) // named same-package target, resolved and verified
+}

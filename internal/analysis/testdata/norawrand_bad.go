@@ -1,0 +1,22 @@
+package fixture
+
+// Seeded violation fixture for norawrand: raw math/rand and crypto/rand
+// use outside internal/rng.
+
+import (
+	crand "crypto/rand" // want norawrand
+	"math/rand"         // want norawrand
+)
+
+func rollDice() int {
+	r := rand.New(rand.NewSource(42)) // want norawrand
+	return r.Intn(6)                  // (receiver call, not a package selector)
+}
+
+func globalDice() int {
+	return rand.Intn(6) // want norawrand
+}
+
+func readNoise(buf []byte) {
+	_, _ = crand.Read(buf) // want norawrand
+}

@@ -1,0 +1,15 @@
+package fixture
+
+// Corrected fixture for norawrand: randomness flows through a seeded,
+// splittable stream (stand-in for internal/rng.Source).
+
+type stream struct{ state uint64 }
+
+func newStream(seed uint64) *stream { return &stream{state: seed} }
+
+func (s *stream) next() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}
+
+func rollDiceSeeded(s *stream) int { return int(s.next() % 6) }

@@ -1,0 +1,25 @@
+package fixture
+
+// Seeded violation fixture for nowallclock: wall-clock reads inside
+// generation-step and operator code (checked under a non-allowlisted
+// package path such as pga/internal/operators).
+
+import "time"
+
+type individual struct {
+	fitness float64
+	stamp   time.Time
+}
+
+func step(pop []individual) {
+	start := time.Now() // want nowallclock
+	for i := range pop {
+		pop[i].fitness++
+	}
+	_ = time.Since(start) // want nowallclock
+}
+
+func mutate(ind *individual) {
+	time.Sleep(time.Millisecond) // want nowallclock
+	ind.stamp = time.Time{}      // a time *value* is not a clock read
+}

@@ -1,0 +1,19 @@
+package fixture
+
+// Corrected fixture for nowallclock: timing confined to the allowlisted
+// run-orchestration entry point (checked as pga/internal/ga, whose Run
+// function is on the allowlist) plus clock-free duration arithmetic.
+
+import "time"
+
+const reportEvery = 5 * time.Millisecond
+
+func Run(gens int) time.Duration {
+	start := time.Now()
+	total := 0
+	for g := 0; g < gens; g++ {
+		total += g
+	}
+	_ = total
+	return time.Since(start)
+}

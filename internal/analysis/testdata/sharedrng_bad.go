@@ -1,0 +1,38 @@
+package fixture
+
+// Seeded violation fixture for sharedrng: one unsynchronized stream
+// drawn from by two goroutines at once. Uses *math/rand.Rand, which the
+// rule treats like *rng.Source (checked as pga/internal/rng so the
+// deliberate math/rand import stays out of norawrand's way).
+
+import (
+	"math/rand"
+	"sync"
+)
+
+func raceOnParentStream(n int) int {
+	r := rand.New(rand.NewSource(1))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = r.Intn(n) // want sharedrng
+	}()
+	total := r.Intn(n) // the race: the parent draws concurrently
+	<-done
+	return total
+}
+
+func twoGoroutinesOneStream(n int) {
+	r := rand.New(rand.NewSource(2))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_ = r.Intn(n) // want sharedrng
+	}()
+	go func() {
+		defer wg.Done()
+		_ = r.Intn(n) // want sharedrng
+	}()
+	wg.Wait()
+}

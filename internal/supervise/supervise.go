@@ -259,6 +259,12 @@ func (s *Supervisor) RunStep(i, gen int, e ga.Engine) StepOutcome {
 		return step()
 	}
 	ch := make(chan StepOutcome, 1) // buffered: an abandoned step never blocks
+	// The one deliberately unsupervised goroutine in the library: a hung
+	// step cannot be cancelled (Engine.Step takes no context), so the
+	// supervisor abandons it on heartbeat timeout and the restart budget
+	// bounds how many can accumulate. The send is provably non-blocking:
+	// capacity-1 buffer, exactly one send per goroutine.
+	//pgalint:ignore ctxleak,blockingsend heartbeat-abandoned step; single send into cap-1 buffer
 	go func() { ch <- step() }()
 	timer := time.NewTimer(s.cfg.Heartbeat)
 	defer timer.Stop()
