@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fuzz
+.PHONY: all build test race bench perf lint fuzz
 
 all: build lint test
 
@@ -21,6 +21,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Perf gate: hard allocation budgets on the generation hot path (zero
+# steady-state allocs for the sequential engines, small fixed budgets
+# for parallel/island), then the JSON benchmark report vs the seed
+# baselines (BENCH_3.json — uploaded as a CI artifact).
+perf:
+	$(GO) test -run 'AllocBudget' -count=1 ./internal/ga/ ./internal/cellular/ ./internal/island/
+	$(GO) run ./cmd/pgabench -json -quick -out BENCH_3.json
 
 # Static gate: pgalint (determinism + concurrency contracts) and vet,
 # including explicit copylocks/unusedresult passes.

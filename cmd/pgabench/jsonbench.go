@@ -1,0 +1,224 @@
+package main
+
+// The -json mode: run the hot-path micro-benchmarks under
+// testing.Benchmark, compare them against the pre-optimization seed
+// baselines recorded below, time the quick experiment suite, and write
+// the whole report as one JSON document (BENCH_3.json in CI). The perf
+// gate reads bytes_ratio from this file; the alloc-budget tests in
+// internal/ga, internal/cellular and internal/island enforce the hard
+// zero/fixed budgets.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"pga"
+	"pga/internal/exp"
+)
+
+// seedBaseline is a micro-benchmark result measured at the seed commit
+// (go test -bench -benchmem, pre zero-allocation rework). The ratios in
+// the report are seed ÷ current, so >1 means the hot path improved.
+type seedBaseline struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is one micro-benchmark with its baseline comparison.
+type benchReport struct {
+	Name        string       `json:"name"`
+	Iterations  int          `json:"iterations"`
+	NsPerOp     float64      `json:"ns_per_op"`
+	BytesPerOp  int64        `json:"bytes_per_op"`
+	AllocsPerOp int64        `json:"allocs_per_op"`
+	Seed        seedBaseline `json:"seed_baseline"`
+	BytesRatio  float64      `json:"bytes_ratio"`  // seed B/op ÷ current B/op
+	AllocsRatio float64      `json:"allocs_ratio"` // seed allocs/op ÷ current allocs/op
+	TimeRatio   float64      `json:"time_ratio"`   // seed ns/op ÷ current ns/op
+}
+
+// expReport is one experiment's wall time in the selected mode.
+type expReport struct {
+	ID       string  `json:"id"`
+	Title    string  `json:"title"`
+	WallMs   float64 `json:"wall_ms"`
+	QuickRun bool    `json:"quick"`
+}
+
+// jsonReport is the full document written to -out.
+type jsonReport struct {
+	Schema      string        `json:"schema"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	CPUs        int           `json:"cpus"`
+	GeneratedAt string        `json:"generated_at"`
+	Benchmarks  []benchReport `json:"benchmarks"`
+	Experiments []expReport   `json:"experiments"`
+}
+
+// ratio guards the seed/current divisions against zero-allocation
+// denominators: a baseline improved all the way to zero reports the
+// baseline value itself (treat "n → 0" as an n-fold reduction).
+func ratio(seed, cur float64) float64 {
+	if cur == 0 {
+		return seed
+	}
+	return seed / cur
+}
+
+// hotPathBenchmarks mirrors the root micro-benchmarks (bench_test.go)
+// one-for-one so the JSON report tracks the same configurations the
+// seed baselines were measured on.
+func hotPathBenchmarks() []struct {
+	name string
+	seed seedBaseline
+	run  func(b *testing.B)
+} {
+	gaCfg := func() pga.GAConfig {
+		return pga.GAConfig{
+			Problem:   pga.OneMax(128),
+			PopSize:   100,
+			Crossover: pga.UniformCrossover{},
+			Mutator:   pga.BitFlip{},
+			RNG:       pga.NewRNG(1),
+		}
+	}
+	return []struct {
+		name string
+		seed seedBaseline
+		run  func(b *testing.B)
+	}{
+		{
+			name: "GenerationalStep",
+			seed: seedBaseline{NsPerOp: 146136, BytesPerOp: 21352, AllocsPerOp: 309},
+			run: func(b *testing.B) {
+				e := pga.NewGenerational(gaCfg())
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+			},
+		},
+		{
+			name: "SteadyStateStep",
+			seed: seedBaseline{NsPerOp: 247311, BytesPerOp: 32087, AllocsPerOp: 480},
+			run: func(b *testing.B) {
+				e := pga.NewSteadyState(gaCfg())
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+			},
+		},
+		{
+			name: "CellularSweep",
+			seed: seedBaseline{NsPerOp: 215677, BytesPerOp: 32973, AllocsPerOp: 480},
+			run: func(b *testing.B) {
+				e := pga.NewCellular(pga.CellularConfig{
+					Problem:   pga.OneMax(128),
+					Rows:      10,
+					Cols:      10,
+					Crossover: pga.UniformCrossover{},
+					Mutator:   pga.BitFlip{},
+					RNG:       pga.NewRNG(1),
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+			},
+		},
+		{
+			name: "IslandGeneration",
+			seed: seedBaseline{NsPerOp: 297430, BytesPerOp: 43072, AllocsPerOp: 656},
+			run: func(b *testing.B) {
+				m := pga.NewIslands(pga.IslandConfig{
+					Demes:    8,
+					Topology: pga.Ring,
+					GA: pga.GAConfig{
+						Problem:   pga.OneMax(128),
+						PopSize:   25,
+						Crossover: pga.UniformCrossover{},
+						Mutator:   pga.BitFlip{},
+					},
+					Migration: pga.Migration{Interval: 10, Count: 2},
+					Seed:      1,
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.RunSequential(pga.MaxGenerations(1), false)
+				}
+			},
+		},
+	}
+}
+
+// runJSON produces the perf report: micro-benchmarks against the seed
+// baselines plus wall times for the selected experiments, written as
+// indented JSON to outPath.
+func runJSON(selected []exp.Experiment, quick bool, outPath string) error {
+	report := jsonReport{
+		Schema:      "pga-bench/v1",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	fmt.Printf("pgabench: measuring %d hot-path micro-benchmarks\n", len(hotPathBenchmarks()))
+	for _, hb := range hotPathBenchmarks() {
+		res := testing.Benchmark(hb.run)
+		br := benchReport{
+			Name:        hb.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Seed:        hb.seed,
+			BytesRatio:  ratio(float64(hb.seed.BytesPerOp), float64(res.AllocedBytesPerOp())),
+			AllocsRatio: ratio(float64(hb.seed.AllocsPerOp), float64(res.AllocsPerOp())),
+			TimeRatio:   ratio(hb.seed.NsPerOp, float64(res.NsPerOp())),
+		}
+		report.Benchmarks = append(report.Benchmarks, br)
+		fmt.Printf("  %-18s %10d ns/op %8d B/op %6d allocs/op  (seed: %d B/op, %d allocs/op)\n",
+			hb.name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp(),
+			hb.seed.BytesPerOp, hb.seed.AllocsPerOp)
+	}
+
+	fmt.Printf("pgabench: timing %d experiment(s)\n", len(selected))
+	for _, e := range selected {
+		t0 := time.Now()
+		e.Run(io.Discard, quick)
+		report.Experiments = append(report.Experiments, expReport{
+			ID:       e.ID,
+			Title:    e.Title,
+			WallMs:   float64(time.Since(t0).Microseconds()) / 1000,
+			QuickRun: quick,
+		})
+		fmt.Printf("  %-5s %8.1f ms  %s\n",
+			e.ID, report.Experiments[len(report.Experiments)-1].WallMs, e.Title)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("pgabench: wrote %s\n", outPath)
+	return nil
+}

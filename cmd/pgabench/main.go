@@ -8,6 +8,8 @@
 //	pgabench -quick        # reduced sizes (seconds; smoke test)
 //	pgabench -list         # list experiment IDs
 //	pgabench -run E02,E06  # run selected experiments
+//	pgabench -json -quick  # hot-path micro-benchmarks + experiment
+//	                       # timings as JSON (-out, default BENCH_3.json)
 package main
 
 import (
@@ -24,6 +26,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run with reduced sizes")
 	list := flag.Bool("list", false, "list experiments and exit")
 	runIDs := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	jsonOut := flag.Bool("json", false, "emit micro-benchmarks + experiment timings as JSON")
+	outPath := flag.String("out", "BENCH_3.json", "output path for -json")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +50,14 @@ func main() {
 			}
 			selected = append(selected, e)
 		}
+	}
+
+	if *jsonOut {
+		if err := runJSON(selected, *quick, *outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "pgabench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	mode := "full"

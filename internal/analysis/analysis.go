@@ -98,6 +98,7 @@ func Registry() []*Analyzer {
 		BlockingSend(),
 		SharedRNG(),
 		CtxLeak(),
+		HiddenAlloc(),
 	}
 }
 

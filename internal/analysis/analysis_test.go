@@ -24,6 +24,8 @@ var fixturePkgPaths = map[string]string{
 	"sharedrng_ok.go":     "pga/internal/rng",
 	"ctxleak_bad.go":      "pga/internal/cluster",
 	"ctxleak_ok.go":       "pga/internal/cluster",
+	"hiddenalloc_bad.go":  "pga/internal/ga",
+	"hiddenalloc_ok.go":   "pga/internal/ga",
 	"ignore.go":           "pga/internal/p2p",
 }
 

@@ -1,0 +1,39 @@
+package analysis
+
+import "testing"
+
+func TestHiddenAlloc(t *testing.T) {
+	tests := []struct {
+		name    string
+		fixture string
+	}{
+		{"flags clones and growing appends in hot paths", "hiddenalloc_bad.go"},
+		{"silent on pooled buffers and setup code", "hiddenalloc_ok.go"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			checkRule(t, HiddenAlloc(), tc.fixture)
+		})
+	}
+}
+
+func TestHiddenAllocScopedToHotList(t *testing.T) {
+	// The same violating file is silent under an import path whose
+	// functions are not on the hot list: the rule gates the generation
+	// step, not the whole module.
+	pkg := loadFixtureAs(t, "hiddenalloc_bad.go", "pga/internal/stats")
+	diags := RunAnalyzers("", []*Package{pkg}, []*Analyzer{HiddenAlloc()})
+	if len(diags) != 0 {
+		t.Fatalf("non-hot package still reported: %v", diags)
+	}
+}
+
+func TestHiddenAllocCustomHotList(t *testing.T) {
+	// warmPool is clean-by-default only because it is not hot; promoting
+	// it via config must surface its clone and append.
+	a := HiddenAllocWith(HiddenAllocConfig{Hot: []string{"pga/internal/ga.warmPool"}})
+	diags := runFixture(t, a, "hiddenalloc_bad.go")
+	if len(diags) != 2 {
+		t.Fatalf("custom hot list: want 2 findings in warmPool, got %d: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,46 @@
+package fixture
+
+// Seeded violation fixture for hiddenalloc: Clone calls and growing
+// appends inside generation hot-path functions (checked under the
+// pga/internal/ga import path, where Step and birth are on the hot list).
+
+type cromo struct{ bits []bool }
+
+func (g *cromo) Clone() *cromo {
+	c := &cromo{bits: make([]bool, len(g.bits))}
+	copy(c.bits, g.bits)
+	return c
+}
+
+type motor struct {
+	pop  []*cromo
+	next []*cromo
+}
+
+// Step is the historical allocating generation loop: one clone per parent
+// and a geometrically growing offspring slice.
+func (e *motor) Step() {
+	var offspring []*cromo
+	for _, g := range e.pop {
+		child := g.Clone()                   // want hiddenalloc
+		offspring = append(offspring, child) // want hiddenalloc
+	}
+	sized := make([]*cromo, 0) // length only, no capacity: appends still grow
+	for _, g := range offspring {
+		sized = append(sized, g) // want hiddenalloc
+	}
+	e.pop = sized
+}
+
+// birth appends to a field, which can never be proven pre-sized.
+func (e *motor) birth() {
+	e.next = append(e.next, e.pop[0].Clone()) // want hiddenalloc hiddenalloc
+}
+
+// warmPool is NOT on the hot list: one-time setup may clone and append
+// freely.
+func (e *motor) warmPool() {
+	for _, g := range e.pop {
+		e.next = append(e.next, g.Clone())
+	}
+}

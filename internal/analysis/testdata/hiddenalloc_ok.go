@@ -1,0 +1,48 @@
+package fixture
+
+// Corrected fixture for hiddenalloc: the pooled-buffer patterns the rule
+// permits inside hot-path functions (checked under pga/internal/ga).
+
+type gene struct{ bits []bool }
+
+func (g *gene) copyFrom(src *gene) { copy(g.bits, src.bits) }
+
+func (g *gene) clone() *gene {
+	c := &gene{bits: make([]bool, len(g.bits))}
+	copy(c.bits, g.bits)
+	return c
+}
+
+type pooled struct {
+	pop  []*gene
+	next []*gene
+}
+
+// Step reuses the double buffer: in-place copies and a swap, no Clone and
+// no growing append.
+func (e *pooled) Step() {
+	for i, g := range e.pop {
+		e.next[i].copyFrom(g)
+	}
+	e.pop, e.next = e.next, e.pop
+
+	// An append into a slice made with explicit capacity in this same
+	// function stays within its reserved storage.
+	batch := make([]*gene, 0, len(e.pop))
+	for _, g := range e.pop {
+		batch = append(batch, g)
+	}
+	_ = batch
+
+	// A justified escape hatch is available for audited allocations.
+	tmp := e.pop[0].clone() //pgalint:ignore hiddenalloc lowercase clone is a fixture helper, but demonstrate the directive
+	_ = tmp
+}
+
+// ensureBuffers is not a hot function: one-time pool construction clones
+// and appends without findings.
+func (e *pooled) ensureBuffers() {
+	for _, g := range e.pop {
+		e.next = append(e.next, g.clone())
+	}
+}

@@ -113,6 +113,18 @@ type Engine struct {
 	evals      int64
 	fixedOrder []int // FRS order, chosen on first use
 	neighbors  [][]int
+
+	// Pooled per-sweep state (see §8 of DESIGN.md): buf holds one
+	// candidate slot per cell for synchronous sweeps, accepted records
+	// which candidates won their cell, child is the rotating candidate of
+	// the in-place policies, discard absorbs the unused second crossover
+	// child and order is the NewRandomSweep permutation buffer.
+	buf      []*core.Individual
+	accepted []bool
+	child    *core.Individual
+	discard  *core.Individual
+	order    []int
+	scratch  operators.Scratch
 }
 
 var _ ga.Engine = (*Engine)(nil)
@@ -204,20 +216,46 @@ func (e *Engine) neighborhood(idx int) []int {
 	return out
 }
 
+// ensureBuffers builds the pooled candidate slots on first use. Cloning
+// the live members gives every slot a genome of the right concrete type
+// and length so later sweeps copy in place.
+func (e *Engine) ensureBuffers() {
+	if e.child != nil {
+		return
+	}
+	n := e.rows * e.cols
+	e.child = e.pop.Members[0].Clone()
+	e.discard = e.pop.Members[0].Clone()
+	if e.cfg.Update == Synchronous {
+		e.buf = make([]*core.Individual, n)
+		for i := range e.buf {
+			e.buf[i] = e.pop.Members[i].Clone()
+		}
+		e.accepted = make([]bool, n)
+	}
+	if e.cfg.Update == NewRandomSweep {
+		e.order = make([]int, n)
+	}
+}
+
 // Step implements ga.Engine: one sweep of Rows*Cols cell updates under the
-// configured policy.
+// configured policy. Candidates are written into pooled buffers and
+// pointer-swapped with the incumbents they beat, so a sweep is
+// allocation-free at steady state; the RNG draw sequence matches the
+// historical allocating implementation exactly.
 func (e *Engine) Step() {
 	n := e.rows * e.cols
+	e.ensureBuffers()
 	switch e.cfg.Update {
 	case Synchronous:
 		// All offspring computed against the old grid, then written at once.
-		next := make([]*core.Individual, n)
 		for i := 0; i < n; i++ {
-			next[i] = e.offspring(i)
+			e.accepted[i] = e.offspringInto(i, e.buf[i])
 		}
 		for i := 0; i < n; i++ {
-			if next[i] != nil {
-				e.pop.Members[i] = next[i]
+			if e.accepted[i] {
+				// The evicted incumbent becomes the cell's buffer slot.
+				e.pop.Members[i], e.buf[i] = e.buf[i], e.pop.Members[i]
 			}
 		}
 	case LineSweep:
@@ -232,7 +270,8 @@ func (e *Engine) Step() {
 			e.updateInPlace(i)
 		}
 	case NewRandomSweep:
-		for _, i := range e.cfg.RNG.Perm(n) {
+		e.cfg.RNG.PermInto(e.order)
+		for _, i := range e.order {
 			e.updateInPlace(i)
 		}
 	case UniformChoice:
@@ -243,17 +282,19 @@ func (e *Engine) Step() {
 }
 
 // updateInPlace computes cell i's offspring against the live grid and
-// installs it if accepted.
+// installs it if accepted, recycling the evicted incumbent as the next
+// candidate buffer.
 func (e *Engine) updateInPlace(i int) {
-	if child := e.offspring(i); child != nil {
-		e.pop.Members[i] = child
+	if e.offspringInto(i, e.child) {
+		e.child = e.pop.Replace(i, e.child)
 	}
 }
 
-// offspring produces cell i's candidate replacement, or nil when the
-// offspring loses to the incumbent (replace-if-better, the elitist rule of
-// the cGA literature).
-func (e *Engine) offspring(i int) *core.Individual {
+// offspringInto produces cell i's candidate replacement in dst and reports
+// whether it beats the incumbent (replace-if-better, the elitist rule of
+// the cGA literature). On rejection dst simply holds garbage for the next
+// attempt to overwrite.
+func (e *Engine) offspringInto(i int, dst *core.Individual) bool {
 	cfg := &e.cfg
 	centre := e.pop.Members[i]
 	// Binary tournament among the neighbours picks the mate.
@@ -265,22 +306,17 @@ func (e *Engine) offspring(i int) *core.Individual {
 		mate = e.pop.Members[b]
 	}
 
-	var childG core.Genome
 	if cfg.Crossover != nil && cfg.RNG.Chance(cfg.CrossoverRate) {
-		childG, _ = cfg.Crossover.Cross(centre.Genome, mate.Genome, cfg.RNG)
+		operators.CrossInto(cfg.Crossover, centre.Genome, mate.Genome, dst, e.discard, cfg.RNG, &e.scratch)
 	} else {
-		childG = mate.Genome.Clone()
+		dst.Genome = core.CopyGenome(dst.Genome, mate.Genome)
 	}
 	if cfg.Mutator != nil {
-		cfg.Mutator.Mutate(childG, cfg.RNG)
+		cfg.Mutator.Mutate(dst.Genome, cfg.RNG)
 	}
-	child := core.NewIndividual(childG)
-	child.Fitness = cfg.Problem.Evaluate(child.Genome)
-	child.Evaluated = true
+	dst.Fitness = cfg.Problem.Evaluate(dst.Genome)
+	dst.Evaluated = true
 	e.evals++
 
-	if e.dir.Better(child.Fitness, centre.Fitness) {
-		return child
-	}
-	return nil
+	return e.dir.Better(dst.Fitness, centre.Fitness)
 }

@@ -30,6 +30,27 @@ type Genome interface {
 	String() string
 }
 
+// InPlace is an optional Genome extension for allocation-free copying.
+// All representations in internal/genome implement it; the engines' pooled
+// generation buffers depend on it to rewrite offspring without allocating.
+type InPlace interface {
+	Genome
+	// CopyFrom overwrites the receiver's genes with src's. The receiver
+	// and src must share concrete type and length (same problem).
+	CopyFrom(src Genome)
+}
+
+// CopyGenome copies src into dst, reusing dst's storage when dst
+// implements InPlace; otherwise (or when dst is nil) it returns a fresh
+// clone. The returned genome never aliases src's gene storage.
+func CopyGenome(dst, src Genome) Genome {
+	if ip, ok := dst.(InPlace); ok {
+		ip.CopyFrom(src)
+		return dst
+	}
+	return src.Clone()
+}
+
 // Direction states whether larger or smaller fitness is better.
 type Direction int
 
@@ -113,6 +134,15 @@ func NewIndividual(g Genome) *Individual {
 // Clone returns a deep copy of the individual, including fitness state.
 func (ind *Individual) Clone() *Individual {
 	return &Individual{Genome: ind.Genome.Clone(), Fitness: ind.Fitness, Evaluated: ind.Evaluated}
+}
+
+// CopyFrom overwrites ind with a deep copy of src, reusing the existing
+// genome storage when possible — the allocation-free form of Clone for
+// pooled generation buffers and best-so-far trackers.
+func (ind *Individual) CopyFrom(src *Individual) {
+	ind.Genome = CopyGenome(ind.Genome, src.Genome)
+	ind.Fitness = src.Fitness
+	ind.Evaluated = src.Evaluated
 }
 
 // Invalidate marks the fitness as stale (after a mutating operator).

@@ -118,26 +118,60 @@ func (c Config) validate() {
 	}
 }
 
-// rankedIndices returns population indices ordered best → worst under dir.
-func rankedIndices(pop *core.Population, dir core.Direction) []int {
-	idx := make([]int, pop.Len())
-	for i := range idx {
-		idx[i] = i
+// bestSorter sorts an index buffer best → worst under a direction without
+// allocating (sort.Stable over a pointer receiver, unlike sort.SliceStable,
+// performs no per-call allocation; both are stable, so the ordering matches
+// the historical rankedIndices helper exactly).
+type bestSorter struct {
+	idx []int
+	pop *core.Population
+	dir core.Direction
+}
+
+func (s *bestSorter) Len() int      { return len(s.idx) }
+func (s *bestSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *bestSorter) Less(a, b int) bool {
+	return s.dir.Better(s.pop.Members[s.idx[a]].Fitness, s.pop.Members[s.idx[b]].Fitness)
+}
+
+// rankedInto fills the sorter's reusable index buffer with population
+// indices ordered best → worst under dir and returns it.
+func rankedInto(s *bestSorter, pop *core.Population, dir core.Direction) []int {
+	n := pop.Len()
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return dir.Better(pop.Members[idx[a]].Fitness, pop.Members[idx[b]].Fitness)
-	})
-	return idx
+	s.idx = s.idx[:n]
+	for i := range s.idx {
+		s.idx[i] = i
+	}
+	s.pop, s.dir = pop, dir
+	sort.Stable(s)
+	s.pop = nil // do not pin the population between steps
+	return s.idx
 }
 
 // Generational is the classic generational GA: each step builds a new
 // population from selected, recombined and mutated offspring, preserving
 // Elitism top individuals; with GenGap < 1 only that fraction of the
 // population is replaced and the best survivors fill the remainder.
+//
+// The engine double-buffers generations: offspring are written into a
+// pooled shadow population whose Members slice is swapped with the live one
+// at the end of each step, so the steady-state cost of Step is zero heap
+// allocations (see perf_gate_test.go).
 type Generational struct {
 	cfg Config
 	pop *core.Population
 	dir core.Direction
+
+	// next is the pooled shadow generation; spare absorbs the discarded
+	// second child when an odd number of births is needed (the RNG draws
+	// for it still happen, exactly as in the allocating implementation).
+	next    *core.Population
+	spare   *core.Individual
+	ranker  bestSorter
+	scratch operators.Scratch
 }
 
 var _ Engine = (*Generational)(nil)
@@ -186,9 +220,30 @@ func (e *Generational) SetPopulation(pop *core.Population) {
 		}
 	}
 	e.pop = pop
+	// Genome shapes may have changed; rebuild the pooled buffers lazily.
+	e.next = nil
+	e.spare = nil
 }
 
-// Step implements Engine.
+// ensureBuffers builds the pooled shadow generation on first use (and
+// after SetPopulation). Cloning the live members gives every slot a genome
+// of the right concrete type and length so later steps copy in place.
+func (e *Generational) ensureBuffers() {
+	if e.next != nil {
+		return
+	}
+	n := e.cfg.PopSize
+	e.next = core.NewPopulation(n)
+	for i := 0; i < n; i++ {
+		e.next.Members = append(e.next.Members, e.pop.Members[i].Clone())
+	}
+	e.spare = e.pop.Members[0].Clone()
+}
+
+// Step implements Engine. The RNG draw sequence — selection, crossover
+// chance, crossover, mutation, in birth order — is identical to the
+// historical allocating implementation, so seeded runs are reproducible
+// across library versions.
 func (e *Generational) Step() {
 	cfg := &e.cfg
 	n := cfg.PopSize
@@ -199,39 +254,51 @@ func (e *Generational) Step() {
 	if births > n-cfg.Elitism {
 		births = n - cfg.Elitism
 	}
+	e.ensureBuffers()
 
-	offspring := make([]*core.Individual, 0, births+1)
-	for len(offspring) < births {
-		i := cfg.Selector.Select(e.pop, e.dir, cfg.RNG)
-		j := cfg.Selector.Select(e.pop, e.dir, cfg.RNG)
-		var c1, c2 core.Genome
+	// Offspring fill next.Members[Elitism : Elitism+births]; the dangling
+	// second child of a final odd pair lands in the spare slot so its RNG
+	// draws still happen.
+	made := 0
+	for made < births {
+		i := operators.SelectWith(cfg.Selector, e.pop, e.dir, cfg.RNG, &e.scratch)
+		j := operators.SelectWith(cfg.Selector, e.pop, e.dir, cfg.RNG, &e.scratch)
+		pa, pb := e.pop.Members[i], e.pop.Members[j]
+		c1 := e.next.Members[cfg.Elitism+made]
+		c2 := e.spare
+		if made+1 < births {
+			c2 = e.next.Members[cfg.Elitism+made+1]
+		}
 		if cfg.Crossover != nil && cfg.RNG.Chance(cfg.CrossoverRate) {
-			c1, c2 = cfg.Crossover.Cross(e.pop.Members[i].Genome, e.pop.Members[j].Genome, cfg.RNG)
+			operators.CrossInto(cfg.Crossover, pa.Genome, pb.Genome, c1, c2, cfg.RNG, &e.scratch)
 		} else {
-			c1 = e.pop.Members[i].Genome.Clone()
-			c2 = e.pop.Members[j].Genome.Clone()
+			c1.Genome = core.CopyGenome(c1.Genome, pa.Genome)
+			c2.Genome = core.CopyGenome(c2.Genome, pb.Genome)
 		}
-		for _, g := range []core.Genome{c1, c2} {
-			if cfg.Mutator != nil {
-				cfg.Mutator.Mutate(g, cfg.RNG)
-			}
-			offspring = append(offspring, core.NewIndividual(g))
+		if cfg.Mutator != nil {
+			cfg.Mutator.Mutate(c1.Genome, cfg.RNG)
+			cfg.Mutator.Mutate(c2.Genome, cfg.RNG)
 		}
+		c1.Evaluated = false
+		c2.Evaluated = false
+		made += 2
 	}
-	offspring = offspring[:births]
 
-	ranked := rankedIndices(e.pop, e.dir) // best → worst
-	next := core.NewPopulation(n)
+	ranked := rankedInto(&e.ranker, e.pop, e.dir) // best → worst
 	// Elites survive unchanged.
 	for i := 0; i < cfg.Elitism; i++ {
-		next.Members = append(next.Members, e.pop.Members[ranked[i]].Clone())
+		e.next.Members[i].CopyFrom(e.pop.Members[ranked[i]])
 	}
-	next.Members = append(next.Members, offspring...)
 	// GenGap < 1: the best non-elite survivors keep their slots.
-	for i := cfg.Elitism; next.Len() < n && i < len(ranked); i++ {
-		next.Members = append(next.Members, e.pop.Members[ranked[i]].Clone())
+	slot := cfg.Elitism + births
+	for i := cfg.Elitism; slot < n && i < len(ranked); i++ {
+		e.next.Members[slot].CopyFrom(e.pop.Members[ranked[i]])
+		slot++
 	}
-	e.pop = next
+	// Swap buffers. Swapping the Members slices (not the *Population
+	// pointers) keeps Population() stable for callers that hold it across
+	// steps, e.g. the island model's migration.
+	e.pop.Members, e.next.Members = e.next.Members, e.pop.Members
 	cfg.Evaluator.EvaluateAll(cfg.Problem, e.pop)
 }
 
@@ -246,6 +313,14 @@ type SteadyState struct {
 	// birthEvals counts evaluations performed directly by birth, which
 	// bypass the Evaluator interface (one genome at a time).
 	birthEvals int64
+
+	// child is the pooled buffer the next offspring is written into; on a
+	// successful insertion the evicted individual is recycled as the new
+	// buffer, so births are allocation-free at steady state. discard
+	// absorbs the unused second child of the crossover.
+	child   *core.Individual
+	discard *core.Individual
+	scratch operators.Scratch
 }
 
 var _ Engine = (*SteadyState)(nil)
@@ -296,6 +371,19 @@ func (e *SteadyState) SetPopulation(pop *core.Population) {
 		}
 	}
 	e.pop = pop
+	// Genome shapes may have changed; rebuild the pooled buffers lazily.
+	e.child = nil
+	e.discard = nil
+}
+
+// ensureBuffers builds the pooled child buffers on first use (and after
+// SetPopulation).
+func (e *SteadyState) ensureBuffers() {
+	if e.child != nil {
+		return
+	}
+	e.child = e.pop.Members[0].Clone()
+	e.discard = e.pop.Members[0].Clone()
 }
 
 // Step implements Engine: PopSize sequential births.
@@ -305,21 +393,25 @@ func (e *SteadyState) Step() {
 	}
 }
 
-// birth produces and inserts one offspring.
+// birth produces and inserts one offspring. The RNG draw sequence —
+// selection, crossover chance, crossover (both children drawn, second
+// unused), mutation, victim choice — is identical to the historical
+// allocating implementation.
 func (e *SteadyState) birth() {
 	cfg := &e.cfg
-	i := cfg.Selector.Select(e.pop, e.dir, cfg.RNG)
-	j := cfg.Selector.Select(e.pop, e.dir, cfg.RNG)
-	var child core.Genome
+	e.ensureBuffers()
+	i := operators.SelectWith(cfg.Selector, e.pop, e.dir, cfg.RNG, &e.scratch)
+	j := operators.SelectWith(cfg.Selector, e.pop, e.dir, cfg.RNG, &e.scratch)
+	pa, pb := e.pop.Members[i], e.pop.Members[j]
+	ind := e.child
 	if cfg.Crossover != nil && cfg.RNG.Chance(cfg.CrossoverRate) {
-		child, _ = cfg.Crossover.Cross(e.pop.Members[i].Genome, e.pop.Members[j].Genome, cfg.RNG)
+		operators.CrossInto(cfg.Crossover, pa.Genome, pb.Genome, ind, e.discard, cfg.RNG, &e.scratch)
 	} else {
-		child = e.pop.Members[i].Genome.Clone()
+		ind.Genome = core.CopyGenome(ind.Genome, pa.Genome)
 	}
 	if cfg.Mutator != nil {
-		cfg.Mutator.Mutate(child, cfg.RNG)
+		cfg.Mutator.Mutate(ind.Genome, cfg.RNG)
 	}
-	ind := core.NewIndividual(child)
 	ind.Fitness = cfg.Problem.Evaluate(ind.Genome)
 	ind.Evaluated = true
 	e.birthEvals++
@@ -331,10 +423,13 @@ func (e *SteadyState) birth() {
 		victim = cfg.RNG.Intn(e.pop.Len())
 	}
 	// Never replace the incumbent best with something worse: this is the
-	// standard steady-state elitism guarantee.
+	// standard steady-state elitism guarantee. The rejected child stays in
+	// the pooled buffer and is overwritten by the next birth.
 	best := e.pop.Best(e.dir)
 	if victim == best && !e.dir.BetterOrEqual(ind.Fitness, e.pop.Members[best].Fitness) {
 		return
 	}
-	e.pop.Replace(victim, ind)
+	// Insert the child and recycle the evicted individual as the next
+	// birth's buffer.
+	e.child = e.pop.Replace(victim, ind)
 }

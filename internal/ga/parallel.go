@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"pga/internal/core"
+	"pga/internal/operators"
 	"pga/internal/rng"
 )
 
@@ -26,6 +27,15 @@ type ParallelGenerational struct {
 	workers int
 	streams []*rng.Source
 	evals   int64
+
+	// Pooled per-step state: the shadow generation, one scratch and one
+	// discarded-second-child buffer per worker (workers never share mutable
+	// state), and the per-worker evaluation counters.
+	next      *core.Population
+	scratches []operators.Scratch
+	discards  []*core.Individual
+	counts    []int64
+	ranker    bestSorter
 }
 
 var _ Engine = (*ParallelGenerational)(nil)
@@ -68,17 +78,39 @@ func (e *ParallelGenerational) Problem() core.Problem { return e.cfg.Problem }
 // Evaluations implements Engine.
 func (e *ParallelGenerational) Evaluations() int64 { return e.evals }
 
+// ensureBuffers builds the pooled shadow generation and per-worker scratch
+// state on first use.
+func (e *ParallelGenerational) ensureBuffers() {
+	if e.next != nil {
+		return
+	}
+	n := e.cfg.PopSize
+	e.next = core.NewPopulation(n)
+	for i := 0; i < n; i++ {
+		e.next.Members = append(e.next.Members, e.pop.Members[i].Clone())
+	}
+	e.scratches = make([]operators.Scratch, e.workers)
+	e.discards = make([]*core.Individual, e.workers)
+	for w := range e.discards {
+		e.discards[w] = e.pop.Members[0].Clone()
+	}
+	e.counts = make([]int64, e.workers)
+}
+
 // Step implements Engine: one full generation produced in parallel.
 // Workers read the previous population (immutable during the step) and
 // write disjoint slices of the next one, so no locking is needed —
-// exactly the shared-memory discipline of the early global PGAs.
+// exactly the shared-memory discipline of the early global PGAs. Each
+// worker draws from its private stream in the same order as the historical
+// allocating implementation, so seeded runs are unchanged.
 func (e *ParallelGenerational) Step() {
 	cfg := &e.cfg
 	n := cfg.PopSize
 	births := n - cfg.Elitism
+	e.ensureBuffers()
 
-	next := make([]*core.Individual, births)
-	counts := make([]int64, e.workers)
+	// Offspring fill next.Members[Elitism : n], worker w owning the
+	// contiguous block [Elitism+lo, Elitism+hi).
 	var wg sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		lo := births * w / e.workers
@@ -90,36 +122,38 @@ func (e *ParallelGenerational) Step() {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			r := e.streams[w]
+			scratch := &e.scratches[w]
+			discard := e.discards[w]
 			for i := lo; i < hi; i++ {
-				a := cfg.Selector.Select(e.pop, e.dir, r)
-				b := cfg.Selector.Select(e.pop, e.dir, r)
-				var child core.Genome
+				a := operators.SelectWith(cfg.Selector, e.pop, e.dir, r, scratch)
+				b := operators.SelectWith(cfg.Selector, e.pop, e.dir, r, scratch)
+				pa, pb := e.pop.Members[a], e.pop.Members[b]
+				child := e.next.Members[cfg.Elitism+i]
 				if cfg.Crossover != nil && r.Chance(cfg.CrossoverRate) {
-					child, _ = cfg.Crossover.Cross(e.pop.Members[a].Genome, e.pop.Members[b].Genome, r)
+					operators.CrossInto(cfg.Crossover, pa.Genome, pb.Genome, child, discard, r, scratch)
 				} else {
-					child = e.pop.Members[a].Genome.Clone()
+					child.Genome = core.CopyGenome(child.Genome, pa.Genome)
 				}
 				if cfg.Mutator != nil {
-					cfg.Mutator.Mutate(child, r)
+					cfg.Mutator.Mutate(child.Genome, r)
 				}
-				ind := core.NewIndividual(child)
-				ind.Fitness = cfg.Problem.Evaluate(ind.Genome)
-				ind.Evaluated = true
-				next[i] = ind
-				counts[w]++
+				child.Fitness = cfg.Problem.Evaluate(child.Genome)
+				child.Evaluated = true
+				e.counts[w]++
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, c := range counts {
+	for w, c := range e.counts {
 		e.evals += c
+		e.counts[w] = 0
 	}
 
-	newPop := core.NewPopulation(n)
-	ranked := rankedIndices(e.pop, e.dir)
+	ranked := rankedInto(&e.ranker, e.pop, e.dir)
 	for i := 0; i < cfg.Elitism; i++ {
-		newPop.Members = append(newPop.Members, e.pop.Members[ranked[i]].Clone())
+		e.next.Members[i].CopyFrom(e.pop.Members[ranked[i]])
 	}
-	newPop.Members = append(newPop.Members, next...)
-	e.pop = newPop
+	// Swap buffers, keeping the *Population identity stable for callers
+	// that hold Population() across steps.
+	e.pop.Members, e.next.Members = e.next.Members, e.pop.Members
 }

@@ -1,0 +1,118 @@
+package ga
+
+// The allocation-budget perf gate for the sequential engines: the hot
+// path of a generation step must not allocate at steady state (ROADMAP:
+// "as fast as the hardware allows" — on the single-core reference setup
+// GC pressure, not arithmetic, dominated a step before the pooled
+// double-buffer rewrite). CI runs these tests on every push; a regression
+// that reintroduces per-birth allocations fails the build rather than
+// silently eating the speedup.
+//
+// testing.AllocsPerRun performs one warm-up call before measuring, which
+// is what lets the engines build their pooled buffers lazily.
+
+import (
+	"testing"
+
+	"pga/internal/core"
+	"pga/internal/operators"
+	"pga/internal/problems"
+	"pga/internal/rng"
+)
+
+// allocGateCase is one engine configuration with its allocation budget
+// (average allocations per Step, measured after warm-up).
+type allocGateCase struct {
+	name   string
+	engine Engine
+	budget float64
+}
+
+func allocGateCases() []allocGateCase {
+	oneMax := func() Config {
+		return Config{
+			Problem:   problems.OneMax{N: 128},
+			PopSize:   100,
+			Crossover: operators.Uniform{},
+			Mutator:   operators.BitFlip{},
+			RNG:       rng.New(1),
+		}
+	}
+	sphere := func() Config {
+		return Config{
+			Problem:   problems.Sphere(16),
+			PopSize:   100,
+			Crossover: operators.SBX{},
+			Mutator:   operators.Gaussian{},
+			RNG:       rng.New(1),
+		}
+	}
+	gapCfg := oneMax()
+	gapCfg.GenGap = 0.5
+	gapCfg.Elitism = 4
+	rankCfg := sphere()
+	rankCfg.Selector = operators.LinearRank{}
+	return []allocGateCase{
+		{"generational/onemax", NewGenerational(oneMax()), 0},
+		{"generational/sphere", NewGenerational(sphere()), 0},
+		{"generational/gap+elitism", NewGenerational(gapCfg), 0},
+		{"generational/rank-selection", NewGenerational(rankCfg), 0},
+		{"steady-state/onemax", NewSteadyState(oneMax(), true), 0},
+		{"steady-state/sphere", NewSteadyState(sphere(), false), 0},
+		// The shared-memory engine pays a fixed per-step cost for its
+		// worker goroutines (spawn + waitgroup), never per birth.
+		{"parallel-generational/onemax", NewParallelGenerational(oneMax(), 4), 16},
+	}
+}
+
+// TestAllocBudget is the perf gate: each engine's Step must stay within
+// its allocation budget (zero for the sequential engines).
+func TestAllocBudget(t *testing.T) {
+	for _, tc := range allocGateCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			avg := testing.AllocsPerRun(20, tc.engine.Step)
+			if avg > tc.budget {
+				t.Errorf("%s: %.1f allocs per Step, budget %.0f", tc.name, avg, tc.budget)
+			}
+		})
+	}
+}
+
+// TestRunAllocBudget gates the Run loop's record path: with tracing off,
+// driving an engine for 50 generations must allocate only the fixed
+// run-level state (result, stop condition, one best-tracker individual),
+// not per-generation clones.
+func TestRunAllocBudget(t *testing.T) {
+	e := NewGenerational(Config{
+		Problem:   problems.OneMax{N: 128},
+		PopSize:   100,
+		Crossover: operators.Uniform{},
+		Mutator:   operators.BitFlip{},
+		RNG:       rng.New(1),
+	})
+	e.Step() // build pooled buffers outside the measured region
+	avg := testing.AllocsPerRun(5, func() {
+		Run(e, RunOptions{Stop: core.MaxGenerations(50)})
+	})
+	// ~10 fixed allocations per Run call (Result, trackers, interfaces);
+	// 50 generations must not scale it.
+	if avg > 20 {
+		t.Errorf("Run(50 gens): %.1f allocs, budget 20 (per-generation allocation leak)", avg)
+	}
+}
+
+// ---- per-engine micro-benchmarks of one generation step ----
+
+// BenchmarkGenerationAllocs reports ns/op, B/op and allocs/op for one
+// generation equivalent of every sequential engine; `make bench` records
+// the numbers in BENCH_3.json.
+func BenchmarkGenerationAllocs(b *testing.B) {
+	for _, tc := range allocGateCases() {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tc.engine.Step()
+			}
+		})
+	}
+}

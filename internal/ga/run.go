@@ -36,7 +36,13 @@ func Run(engine Engine, opts RunOptions) *core.Result {
 		pop := engine.Population()
 		if i := pop.Best(dir); i >= 0 && dir.Better(pop.Members[i].Fitness, best) {
 			best = pop.Members[i].Fitness
-			bestInd = pop.Members[i].Clone()
+			// Reuse one tracker individual instead of cloning on every
+			// improving generation (improvements are frequent early on).
+			if bestInd == nil {
+				bestInd = pop.Members[i].Clone()
+			} else {
+				bestInd.CopyFrom(pop.Members[i])
+			}
 			improved = true
 			if hasTarget && !res.Solved && ta.Solved(best) {
 				res.Solved = true

@@ -17,12 +17,14 @@ import (
 	"pga/internal/rng"
 )
 
-// Compile-time interface checks.
+// Compile-time interface checks: every representation supports both the
+// allocating Clone and the in-place CopyFrom used by the engines' pooled
+// generation buffers.
 var (
-	_ core.Genome = (*BitString)(nil)
-	_ core.Genome = (*RealVector)(nil)
-	_ core.Genome = (*IntVector)(nil)
-	_ core.Genome = (*Permutation)(nil)
+	_ core.InPlace = (*BitString)(nil)
+	_ core.InPlace = (*RealVector)(nil)
+	_ core.InPlace = (*IntVector)(nil)
+	_ core.InPlace = (*Permutation)(nil)
 )
 
 // BitString is a fixed-length binary chromosome.
@@ -47,6 +49,15 @@ func (b *BitString) Clone() core.Genome {
 	c := NewBitString(len(b.Bits))
 	copy(c.Bits, b.Bits)
 	return c
+}
+
+// CopyFrom implements core.InPlace. It panics on type or length mismatch.
+func (b *BitString) CopyFrom(src core.Genome) {
+	o := src.(*BitString)
+	if len(b.Bits) != len(o.Bits) {
+		panic("genome: BitString.CopyFrom length mismatch")
+	}
+	copy(b.Bits, o.Bits)
 }
 
 // Len implements core.Genome.
@@ -203,6 +214,17 @@ func (v *RealVector) Clone() core.Genome {
 	return &RealVector{Genes: g, Lo: v.Lo, Hi: v.Hi}
 }
 
+// CopyFrom implements core.InPlace. Bounds are shared (immutable by
+// convention), exactly as in Clone. It panics on type or length mismatch.
+func (v *RealVector) CopyFrom(src core.Genome) {
+	o := src.(*RealVector)
+	if len(v.Genes) != len(o.Genes) {
+		panic("genome: RealVector.CopyFrom length mismatch")
+	}
+	copy(v.Genes, o.Genes)
+	v.Lo, v.Hi = o.Lo, o.Hi
+}
+
 // Len implements core.Genome.
 func (v *RealVector) Len() int { return len(v.Genes) }
 
@@ -274,6 +296,16 @@ func (v *IntVector) Clone() core.Genome {
 	return &IntVector{Genes: g, Card: v.Card}
 }
 
+// CopyFrom implements core.InPlace. It panics on type or length mismatch.
+func (v *IntVector) CopyFrom(src core.Genome) {
+	o := src.(*IntVector)
+	if len(v.Genes) != len(o.Genes) {
+		panic("genome: IntVector.CopyFrom length mismatch")
+	}
+	copy(v.Genes, o.Genes)
+	v.Card = o.Card
+}
+
 // Len implements core.Genome.
 func (v *IntVector) Len() int { return len(v.Genes) }
 
@@ -330,6 +362,15 @@ func (p *Permutation) Clone() core.Genome {
 	q := make([]int, len(p.Perm))
 	copy(q, p.Perm)
 	return &Permutation{Perm: q}
+}
+
+// CopyFrom implements core.InPlace. It panics on type or length mismatch.
+func (p *Permutation) CopyFrom(src core.Genome) {
+	o := src.(*Permutation)
+	if len(p.Perm) != len(o.Perm) {
+		panic("genome: Permutation.CopyFrom length mismatch")
+	}
+	copy(p.Perm, o.Perm)
 }
 
 // Len implements core.Genome.

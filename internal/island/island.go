@@ -130,6 +130,11 @@ type Model struct {
 	// never be read again).
 	sup      *supervise.Supervisor
 	deadPops []*core.Population
+
+	// outgoing is the pooled per-deme emigrant list of synchronous
+	// exchanges (the migrant clones themselves are necessarily fresh —
+	// they enter the receiving populations).
+	outgoing [][]*core.Individual
 }
 
 // New builds the demes. Deme i's engine stream and migration stream are
@@ -202,8 +207,10 @@ func (m *Model) totalEvaluations() int64 {
 	return t
 }
 
-// globalBest returns a clone of the best individual across demes.
-func (m *Model) globalBest() (*core.Individual, float64) {
+// globalBestRef returns the best individual across demes as a live
+// reference into its deme (valid only until the next step) — the
+// allocation-free form used by the per-generation run loops.
+func (m *Model) globalBestRef() (*core.Individual, float64) {
 	bestFit := m.dir.Worst()
 	var best *core.Individual
 	for i := range m.engines {
@@ -213,6 +220,12 @@ func (m *Model) globalBest() (*core.Individual, float64) {
 			best = pop.Members[j]
 		}
 	}
+	return best, bestFit
+}
+
+// globalBest returns a clone of the best individual across demes.
+func (m *Model) globalBest() (*core.Individual, float64) {
+	best, bestFit := m.globalBestRef()
 	if best != nil {
 		best = best.Clone()
 	}
@@ -244,8 +257,12 @@ func (m *Model) exchange() int64 { return m.exchangeOn(m.cfg.Topology) }
 func (m *Model) exchangeOn(topo topology.Topology) int64 {
 	p := m.cfg.Policy
 	n := len(m.engines)
-	outgoing := make([][]*core.Individual, n)
+	if m.outgoing == nil {
+		m.outgoing = make([][]*core.Individual, n)
+	}
+	outgoing := m.outgoing
 	for i := 0; i < n; i++ {
+		outgoing[i] = nil
 		if len(topo.Neighbors(i)) == 0 {
 			continue
 		}
@@ -280,6 +297,8 @@ func (m *Model) RunSequential(stop core.StopCondition, trace bool) *Result {
 	res := &Result{}
 	ta, hasTarget := m.problem.(core.TargetAware)
 
+	// best is a reusable tracker individual, copied over (not re-cloned)
+	// on every improving generation.
 	best, bestFit := m.globalBest()
 	checkSolved := func(gen int) {
 		if hasTarget && !res.Solved && ta.Solved(bestFit) {
@@ -306,10 +325,15 @@ func (m *Model) RunSequential(stop core.StopCondition, trace bool) *Result {
 			epochs++
 			m.maybeRewire(epochs)
 		}
-		nb, nf := m.globalBest()
+		nb, nf := m.globalBestRef()
 		status.Improved = m.dir.Better(nf, bestFit)
 		if status.Improved {
-			best, bestFit = nb, nf
+			bestFit = nf
+			if best == nil {
+				best = nb.Clone()
+			} else {
+				best.CopyFrom(nb)
+			}
 		}
 		status.BestFitness = bestFit
 		status.Evaluations = m.totalEvaluations()
@@ -412,9 +436,14 @@ func (m *Model) runParallelSync(maxGens int, trace bool) *Result {
 			epochs++
 			m.maybeRewire(epochs)
 		}
-		nb, nf := m.globalBest()
+		nb, nf := m.globalBestRef()
 		if m.dir.Better(nf, bestFit) {
-			best, bestFit = nb, nf
+			bestFit = nf
+			if best == nil {
+				best = nb.Clone()
+			} else {
+				best.CopyFrom(nb)
+			}
 		}
 		if trace {
 			res.Trace = append(res.Trace, core.TracePoint{Generation: g, Evaluations: m.totalEvaluations(), Best: bestFit, Mean: m.meanFitness()})

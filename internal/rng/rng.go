@@ -158,11 +158,18 @@ func (r *Source) Range(lo, hi float64) float64 {
 // Perm returns a uniform random permutation of [0, n).
 func (r *Source) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniform random permutation of [0, len(p)) without
+// allocating — the scratch-buffer form of Perm for generation hot paths.
+// The RNG draw sequence is identical to Perm(len(p)).
+func (r *Source) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.ShuffleInts(p)
-	return p
 }
 
 // ShuffleInts shuffles s in place (Fisher–Yates).
@@ -187,8 +194,19 @@ func (r *Source) Sample(n, k int) []int {
 	if k < 0 || k > n {
 		panic("rng: Sample called with k out of range")
 	}
+	return r.SampleInto(make([]int, n), k)
+}
+
+// SampleInto draws k distinct indices uniformly from [0, len(p)) using p as
+// the index table, returning p[:k] — the scratch-buffer form of Sample for
+// generation hot paths. p is overwritten. The RNG draw sequence is
+// identical to Sample(len(p), k). It panics if k > len(p) or k < 0.
+func (r *Source) SampleInto(p []int, k int) []int {
+	n := len(p)
+	if k < 0 || k > n {
+		panic("rng: SampleInto called with k out of range")
+	}
 	// Partial Fisher–Yates over an index table; O(n) space, O(k) swaps.
-	p := make([]int, n)
 	for i := range p {
 		p[i] = i
 	}
