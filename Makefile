@@ -31,9 +31,11 @@ perf:
 	$(GO) run ./cmd/pgabench -json -quick -out BENCH_3.json
 
 # Static gate: pgalint (determinism + concurrency contracts) and vet,
-# including explicit copylocks/unusedresult passes.
+# including explicit copylocks/unusedresult passes. -time reports
+# per-rule wall time; the 60s deadline fails the gate if the
+# interprocedural engine's cost ever outgrows the module.
 lint:
-	$(GO) run ./cmd/pgalint ./...
+	$(GO) run ./cmd/pgalint -time -deadline 60s ./...
 	$(GO) vet ./...
 	$(GO) vet -copylocks -unusedresult ./...
 

@@ -4,18 +4,29 @@
 //
 // Usage:
 //
-//	pgalint [-json] [-rules] [packages]
+//	pgalint [-json] [-sarif] [-graph] [-rules] [-time] [-deadline d] [packages]
 //
 // With no arguments it lints every package of the enclosing module
 // (equivalent to ./...). Package patterns are module-relative:
 // "./...", "./internal/...", "./internal/island". Exit status is 0 when
-// no findings survive suppression, 1 when there are findings, and 2 on a
-// load failure.
+// no findings survive suppression, 1 when there are findings (or the
+// -deadline budget is exceeded), and 2 on a load failure.
+//
+// -graph skips linting entirely and dumps the interprocedural call
+// graph (functions, closures, call/spawn/ref edges) as JSON — the same
+// graph the summary engine propagates effect facts over.
+//
+// -sarif emits findings as a SARIF 2.1.0 log for GitHub code scanning;
+// -time reports per-rule wall time on stderr; -deadline fails the run
+// when analysis (load + lint) exceeds the given budget, keeping the CI
+// gate honest about linter cost.
 //
 // Suppress a finding with a justification comment on or directly above
 // the offending line:
 //
 //	//pgalint:ignore rule why this specific pattern is provably safe
+//
+// The justification is mandatory: a bare directive is itself reported.
 package main
 
 import (
@@ -24,15 +35,20 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pga/internal/analysis"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	graphOut := flag.Bool("graph", false, "dump the interprocedural call graph as JSON and exit")
 	rules := flag.Bool("rules", false, "list the registered rules and exit")
+	timing := flag.Bool("time", false, "report per-rule wall time on stderr")
+	deadline := flag.Duration("deadline", 0, "fail if load+lint exceeds this duration (0 = no budget)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pgalint [-json] [-rules] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: pgalint [-json] [-sarif] [-graph] [-rules] [-time] [-deadline d] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,6 +61,7 @@ func main() {
 		return
 	}
 
+	start := time.Now()
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
@@ -62,9 +79,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags := analysis.RunAnalyzers(mod.Root, pkgs, registry)
 
-	if *jsonOut {
+	if *graphOut {
+		data, err := analysis.BuildGraph(pkgs).JSON(mod.Root, mod.Fset)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", data)
+		return
+	}
+
+	diags, timings := analysis.RunAnalyzersTimed(mod.Root, pkgs, registry,
+		func() int64 { return time.Now().UnixNano() })
+
+	if *timing {
+		for _, rt := range timings {
+			fmt.Fprintf(os.Stderr, "pgalint: %-14s %8.1fms\n",
+				rt.Rule, float64(rt.Nanos)/1e6)
+		}
+		fmt.Fprintf(os.Stderr, "pgalint: %-14s %8.1fms (load + lint)\n",
+			"total", float64(time.Since(start))/1e6)
+	}
+
+	switch {
+	case *sarifOut:
+		data, err := analysis.SARIF(diags, registry)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", data)
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -73,15 +117,27 @@ func main() {
 		if err := enc.Encode(diags); err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d.String())
 		}
 	}
+
+	failed := false
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "pgalint: %d finding(s)\n", len(diags))
 		}
+		failed = true
+	}
+	if *deadline > 0 {
+		if elapsed := time.Since(start); elapsed > *deadline {
+			fmt.Fprintf(os.Stderr, "pgalint: analysis took %v, over the %v deadline\n",
+				elapsed.Round(time.Millisecond), *deadline)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -25,8 +25,11 @@
 //	//pgalint:ignore rule1,rule2 justification
 //
 // placed either on the offending line or on the line immediately above
-// it. The justification is mandatory by convention (reviewed, not
-// enforced): an ignore asserts the pattern is provably safe.
+// it. The justification is mandatory and machine-checked: a directive
+// whose rule list is not followed by a non-empty justification is itself
+// reported (rule name "ignore"), and that finding cannot be suppressed —
+// an ignore asserts the pattern is provably safe, and the assertion is
+// worthless without the argument.
 package analysis
 
 import (
@@ -70,6 +73,11 @@ type Pass struct {
 	// possibly partial when the package had type errors — analyzers must
 	// tolerate missing entries.
 	Info *types.Info
+	// Facts is the interprocedural layer (call graph + summaries),
+	// computed once per RunAnalyzers call over every analyzed package and
+	// shared by all passes. Never nil under RunAnalyzers; may be nil when
+	// a rule is driven manually.
+	Facts *Facts
 
 	report func(pos token.Pos, rule, msg string)
 }
@@ -99,6 +107,9 @@ func Registry() []*Analyzer {
 		SharedRNG(),
 		CtxLeak(),
 		HiddenAlloc(),
+		RngFlow(),
+		Purity(),
+		ChanTopo(),
 	}
 }
 
@@ -166,20 +177,64 @@ func (idx ignoreIndex) suppressed(pos token.Position, rule string) bool {
 // surviving (non-suppressed) diagnostics sorted by file, line, column and
 // rule. File paths are reported relative to root when possible.
 func RunAnalyzers(root string, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAnalyzersTimed(root, pkgs, analyzers, nil)
+	return diags
+}
+
+// RuleTiming records one rule's total wall time across all packages.
+type RuleTiming struct {
+	// Rule is the rule name; the synthetic "(summaries)" entry covers
+	// call-graph and summary construction, shared by every rule.
+	Rule string
+	// Nanos is the elapsed wall time in nanoseconds.
+	Nanos int64
+}
+
+// RunAnalyzersTimed is RunAnalyzers with per-rule timing. The clock is
+// injected (monotonic nanoseconds, e.g. time.Now().UnixNano from the
+// caller) because this package is itself subject to the nowallclock
+// contract; a nil now skips timing.
+func RunAnalyzersTimed(root string, pkgs []*Package, analyzers []*Analyzer, now func() int64) ([]Diagnostic, []RuleTiming) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
-		pass := &Pass{
+	var timings []RuleTiming
+	clock := func() int64 {
+		if now == nil {
+			return 0
+		}
+		return now()
+	}
+
+	start := clock()
+	facts := ComputeFacts(pkgs)
+	ignores := make([]ignoreIndex, len(pkgs))
+	passes := make([]*Pass, len(pkgs))
+	for i, pkg := range pkgs {
+		ignores[i] = buildIgnoreIndex(pkg.Fset, pkg.Files)
+		passes[i] = &Pass{
 			Fset:    pkg.Fset,
 			Files:   pkg.Files,
 			PkgPath: pkg.Path,
 			Pkg:     pkg.Types,
 			Info:    pkg.Info,
+			Facts:   facts,
 		}
-		for _, a := range analyzers {
+		// The justification check is part of the core contract, not a
+		// registry rule, and deliberately bypasses suppression: an ignore
+		// cannot ignore its own missing justification.
+		diags = append(diags, checkIgnoreJustifications(root, pkg)...)
+	}
+	if now != nil {
+		timings = append(timings, RuleTiming{Rule: "(summaries)", Nanos: clock() - start})
+	}
+
+	for _, a := range analyzers {
+		ruleStart := clock()
+		for i, pkg := range pkgs {
+			pass := passes[i]
+			idx := ignores[i]
 			pass.report = func(pos token.Pos, rule, msg string) {
 				p := pkg.Fset.Position(pos)
-				if ignores.suppressed(p, rule) {
+				if idx.suppressed(p, rule) {
 					return
 				}
 				diags = append(diags, Diagnostic{
@@ -191,6 +246,9 @@ func RunAnalyzers(root string, pkgs []*Package, analyzers []*Analyzer) []Diagnos
 				})
 			}
 			a.Run(pass)
+		}
+		if now != nil {
+			timings = append(timings, RuleTiming{Rule: a.Name, Nanos: clock() - ruleStart})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -206,6 +264,45 @@ func RunAnalyzers(root string, pkgs []*Package, analyzers []*Analyzer) []Diagnos
 		}
 		return a.Rule < b.Rule
 	})
+	return diags, timings
+}
+
+// checkIgnoreJustifications reports every //pgalint:ignore directive in
+// pkg whose rule list is not followed by a non-empty justification.
+func checkIgnoreJustifications(root string, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				fields := strings.Fields(rest)
+				msg := ""
+				switch {
+				case len(fields) == 0:
+					msg = "pgalint:ignore directive names no rules; write " +
+						"//pgalint:ignore rule1,rule2 <justification>"
+				case len(fields) == 1:
+					msg = "pgalint:ignore directive has no justification; an ignore " +
+						"asserts the pattern is provably safe — state why"
+				}
+				if msg == "" {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				diags = append(diags, Diagnostic{
+					File:    relPath(root, p.Filename),
+					Line:    p.Line,
+					Col:     p.Column,
+					Rule:    "ignore",
+					Message: msg,
+				})
+			}
+		}
+	}
 	return diags
 }
 

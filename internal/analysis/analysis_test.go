@@ -5,6 +5,7 @@ import (
 	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,6 +17,7 @@ import (
 var fixturePkgPaths = map[string]string{
 	"norawrand_bad.go":    "pga/internal/operators",
 	"norawrand_ok.go":     "pga/internal/operators",
+	"norawrand_chain.go":  "pga/internal/operators",
 	"nowallclock_bad.go":  "pga/internal/operators",
 	"nowallclock_ok.go":   "pga/internal/ga",
 	"blockingsend_bad.go": "pga/internal/p2p",
@@ -27,6 +29,27 @@ var fixturePkgPaths = map[string]string{
 	"hiddenalloc_bad.go":  "pga/internal/ga",
 	"hiddenalloc_ok.go":   "pga/internal/ga",
 	"ignore.go":           "pga/internal/p2p",
+	"rngflow_bad.go":      "pga/internal/rng",
+	"rngflow_ok.go":       "pga/internal/rng",
+	"purity_bad.go":       "pga/internal/operators",
+	"purity_ok.go":        "pga/internal/operators",
+	"chantopo_bad.go":     "pga/internal/p2p",
+	"chantopo_ok.go":      "pga/internal/island",
+	"bareignore.go":       "pga/internal/ga",
+	"auxrng.go":           "pga/internal/fixrng",
+	"auxchan.go":          "pga/internal/chanutil",
+	"auxrand.go":          "pga/internal/jitter",
+}
+
+// fixtureGroups lists the aux fixtures a fixture imports; they are
+// loaded first (so the fixture importer can resolve them), analyzed
+// together, and their want markers checked alongside the main file —
+// the interprocedural rules need real cross-package call chains.
+var fixtureGroups = map[string][]string{
+	"purity_bad.go":      {"auxrng.go"},
+	"purity_ok.go":       {"auxrng.go"},
+	"chantopo_bad.go":    {"auxchan.go"},
+	"norawrand_chain.go": {"auxrand.go"},
 }
 
 // The fixture loader shares one file set, one stdlib source importer and
@@ -37,7 +60,22 @@ var (
 	fixtureStd   = importer.ForCompiler(fixtureFset, "source", nil)
 	parsedCache  = map[string]*ast.File{}
 	checkedCache = map[string]*Package{}
+	// fixtureTypes registers checked fixture packages by their fake
+	// import path, so later fixtures can import earlier ones.
+	fixtureTypes = map[string]*types.Package{}
 )
+
+// fixtureImporter resolves fixture-internal import paths from the
+// already-checked fixtures and everything else from the stdlib source
+// importer — the test-side analogue of moduleImporter.
+type fixtureImporter struct{}
+
+func (fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fixtureTypes[path]; ok {
+		return p, nil
+	}
+	return fixtureStd.Import(path)
+}
 
 // parseFixture parses testdata/name once.
 func parseFixture(t *testing.T, name string) *ast.File {
@@ -68,12 +106,24 @@ func loadFixtureAs(t *testing.T, name, pkgPath string) *Package {
 		Fset:  fixtureFset,
 		Files: []*ast.File{parseFixture(t, name)},
 	}
-	checkPackage(pkg, fixtureStd)
+	checkPackage(pkg, fixtureImporter{})
 	if len(pkg.TypeErrors) > 0 {
 		t.Fatalf("fixture %s (%s): type errors: %v", name, pkgPath, pkg.TypeErrors)
 	}
 	checkedCache[key] = pkg
+	fixtureTypes[pkgPath] = pkg.Types
 	return pkg
+}
+
+// fixtureGroupPkgs loads a fixture together with its aux fixtures, aux
+// packages first.
+func fixtureGroupPkgs(t *testing.T, name string) []*Package {
+	t.Helper()
+	var pkgs []*Package
+	for _, aux := range fixtureGroups[name] {
+		pkgs = append(pkgs, loadFixture(t, aux))
+	}
+	return append(pkgs, loadFixture(t, name))
 }
 
 // loadFixture loads testdata/name under its default import path.
@@ -86,10 +136,10 @@ func loadFixture(t *testing.T, name string) *Package {
 	return loadFixtureAs(t, name, pkgPath)
 }
 
-// runFixture runs one analyzer over one fixture.
+// runFixture runs one analyzer over one fixture and its aux packages.
 func runFixture(t *testing.T, a *Analyzer, name string) []Diagnostic {
 	t.Helper()
-	return RunAnalyzers("", []*Package{loadFixture(t, name)}, []*Analyzer{a})
+	return RunAnalyzers("", fixtureGroupPkgs(t, name), []*Analyzer{a})
 }
 
 // wantLines scans a fixture for `// want rule1 rule2` markers and
@@ -115,28 +165,82 @@ func wantLines(t *testing.T, name, rule string) map[int]bool {
 	return want
 }
 
-// checkRule asserts that analyzer a reports on exactly the fixture lines
-// marked `// want <rule>` — the seeded violations are caught and the
-// corrected code stays silent.
+// checkRule asserts that analyzer a reports on exactly the lines marked
+// `// want <rule>` across the fixture and its aux files — the seeded
+// violations are caught and the corrected code stays silent.
 func checkRule(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()
+	files := append(append([]string(nil), fixtureGroups[fixture]...), fixture)
 	diags := runFixture(t, a, fixture)
-	want := wantLines(t, fixture, a.Name)
-	got := map[int]bool{}
+	want := map[string]map[int]bool{}
+	for _, f := range files {
+		want[filepath.Join("testdata", f)] = wantLines(t, f, a.Name)
+	}
+	got := map[string]map[int]bool{}
 	for _, d := range diags {
 		if d.Rule != a.Name {
 			t.Errorf("%s: diagnostic with rule %q from analyzer %q", fixture, d.Rule, a.Name)
+		}
+		if got[d.File] == nil {
+			got[d.File] = map[int]bool{}
+		}
+		got[d.File][d.Line] = true
+	}
+	for file, lines := range want {
+		for line := range lines {
+			if !got[file][line] {
+				t.Errorf("%s:%d: expected a %s finding, got none", file, line, a.Name)
+			}
+		}
+	}
+	for _, d := range diags {
+		if !want[d.File][d.Line] {
+			t.Errorf("%s:%d: unexpected finding: %s", d.File, d.Line, d)
+		}
+	}
+}
+
+// TestBareIgnores pins the ignore-justification check: every directive
+// in bareignore.go whose rule list is not followed by a justification is
+// reported under the unsuppressible "ignore" rule — including the one
+// sitting directly under a justified `//pgalint:ignore ignore` attempt.
+// Expectations are derived by scanning the fixture (a `// want` marker
+// on a directive line would read as its justification).
+func TestBareIgnores(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "bareignore.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		_, rest, ok := strings.Cut(line, ignoreDirective)
+		if !ok {
+			continue
+		}
+		if len(strings.Fields(rest)) < 2 {
+			want[i+1] = true
+		}
+	}
+	if len(want) != 4 {
+		t.Fatalf("fixture drifted: expected 4 bare directives, found %d", len(want))
+	}
+	diags := RunAnalyzers("", fixtureGroupPkgs(t, "bareignore.go"), nil)
+	got := map[int]bool{}
+	for _, d := range diags {
+		if d.Rule != "ignore" {
+			t.Errorf("unexpected rule %q in %s", d.Rule, d)
+			continue
 		}
 		got[d.Line] = true
 	}
 	for line := range want {
 		if !got[line] {
-			t.Errorf("%s:%d: expected a %s finding, got none", fixture, line, a.Name)
+			t.Errorf("bareignore.go:%d: bare directive not reported", line)
 		}
 	}
-	for _, d := range diags {
-		if !want[d.Line] {
-			t.Errorf("%s:%d: unexpected finding: %s", fixture, d.Line, d)
+	for line := range got {
+		if !want[line] {
+			t.Errorf("bareignore.go:%d: unexpected ignore finding", line)
 		}
 	}
 }

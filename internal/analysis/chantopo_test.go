@@ -1,0 +1,19 @@
+package analysis
+
+import "testing"
+
+func TestChanTopoBad(t *testing.T) { checkRule(t, ChanTopo(), "chantopo_bad.go") }
+func TestChanTopoOk(t *testing.T)  { checkRule(t, ChanTopo(), "chantopo_ok.go") }
+
+// TestChanTopoBeyondBlockingSend pins the division of labor: the cycle
+// through chanutil.Pump is closed by binding channel arguments at the
+// go statements in chantopo_bad.go, but every send chanutil makes is
+// outside blockingsend's scope — the local rule cannot reach the
+// deadlock at all.
+func TestChanTopoBeyondBlockingSend(t *testing.T) {
+	for _, d := range runFixture(t, BlockingSend(), "chantopo_bad.go") {
+		if d.File == "testdata/auxchan.go" {
+			t.Errorf("blockingsend unexpectedly reached the helper package: %s", d)
+		}
+	}
+}

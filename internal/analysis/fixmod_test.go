@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtureModuleLoads proves the loader and the interprocedural
+// layer degrade gracefully: fixmod/broken does not type-check, yet
+// LoadModule returns every package, the call graph is built from the
+// partial information, and the analyzer suite runs to completion
+// without findings (missing type info suppresses edges, never invents
+// them).
+func TestFixtureModuleLoads(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "fixmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "fixmod" {
+		t.Fatalf("module path = %q, want fixmod", mod.Path)
+	}
+	byPath := map[string]*Package{}
+	for _, pkg := range mod.Pkgs {
+		byPath[pkg.Path] = pkg
+	}
+	for _, path := range []string{"fixmod/util", "fixmod/good", "fixmod/broken"} {
+		if byPath[path] == nil {
+			t.Fatalf("LoadModule missed package %s", path)
+		}
+	}
+	if len(byPath["fixmod/broken"].TypeErrors) == 0 {
+		t.Error("fixmod/broken should carry type errors")
+	}
+	for _, path := range []string{"fixmod/util", "fixmod/good"} {
+		if n := len(byPath[path].TypeErrors); n != 0 {
+			t.Errorf("%s: %d unexpected type errors: %v", path, n, byPath[path].TypeErrors)
+		}
+	}
+	diags := RunAnalyzers(mod.Root, mod.Pkgs, Registry())
+	if len(diags) != 0 {
+		t.Errorf("fixmod should lint clean, got %v", diags)
+	}
+}
+
+// TestGraphJSONGolden locks the -graph output format over the fixture
+// module, byte-for-byte — node naming, closure numbering, edge kinds
+// and root-relative positions. Regenerate with `go test -run
+// GraphJSONGolden -update ./internal/analysis`.
+func TestGraphJSONGolden(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "fixmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := BuildGraph(mod.Pkgs).JSON(mod.Root, mod.Fset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	golden := filepath.Join("testdata", "fixmod_graph.json")
+	if *update {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("graph JSON drifted from golden.\n-- got --\n%s\n-- want --\n%s", data, want)
+	}
+}

@@ -34,6 +34,12 @@ type HiddenAllocConfig struct {
 	// method name regardless of receiver. Closures inside a hot function
 	// are covered too (they report under the enclosing declaration).
 	Hot []string
+	// Cold lists sanctioned allocating functions a hot path may call:
+	// adaptive-copy and setup primitives that allocate only on first use
+	// or shape mismatch and are steady-state allocation-free (the runtime
+	// AllocsPerRun gates enforce that half). Cold functions neither
+	// report nor propagate allocation taint to their callers.
+	Cold []string
 }
 
 // DefaultHiddenAllocConfig returns the repository's production hot list:
@@ -53,6 +59,15 @@ func DefaultHiddenAllocConfig() HiddenAllocConfig {
 		"pga/internal/operators.SelectScratch",
 		"pga/internal/operators.SelectWith",
 		"pga/internal/operators.SUSInto",
+	}, Cold: []string{
+		// One-time pooled-buffer construction, guarded by a nil check.
+		"pga/internal/ga.ensureBuffers",
+		"pga/internal/cellular.ensureBuffers",
+		// Adaptive copy: clones only on genome-shape mismatch (first use);
+		// the steady state reuses existing storage (perf_gate_test.go
+		// proves zero allocations per generation).
+		"pga/internal/core.CopyGenome",
+		"pga/internal/core.CopyFrom",
 	}}
 }
 
@@ -62,6 +77,8 @@ func HiddenAlloc() *Analyzer { return HiddenAllocWith(DefaultHiddenAllocConfig()
 
 // HiddenAllocWith builds the hiddenalloc analyzer with cfg (test hook).
 func HiddenAllocWith(cfg HiddenAllocConfig) *Analyzer {
+	var cachedFacts *Facts
+	var taint map[*Node]bool
 	return &Analyzer{
 		Name: "hiddenalloc",
 		Doc: "forbids per-birth allocation patterns (Clone calls, appends to slices " +
@@ -69,6 +86,20 @@ func HiddenAllocWith(cfg HiddenAllocConfig) *Analyzer {
 			"the pooled double-buffer design keeps a steady-state step at zero heap " +
 			"allocations and this rule keeps it that way",
 		Run: func(pass *Pass) {
+			if pass.Facts != nil && pass.Facts != cachedFacts {
+				cachedFacts = pass.Facts
+				// Spawn edges are excluded: the allocation budget measures
+				// the generation goroutine, and spawning in a hot path is
+				// its own (ctxleak/perf-gate) problem.
+				taint = pass.Facts.Taint(
+					func(n *Node) bool { return pass.Facts.Direct(n).Allocates },
+					func(n *Node) bool {
+						return n.Decl != nil && n.Pkg != nil &&
+							allowedFunc(cfg.Cold, n.Pkg.Path, n.Decl.Name.Name)
+					},
+					map[EdgeKind]bool{EdgeCall: true, EdgeRef: true},
+				)
+			}
 			for _, file := range pass.Files {
 				for _, decl := range file.Decls {
 					fd, ok := decl.(*ast.FuncDecl)
@@ -79,9 +110,43 @@ func HiddenAllocWith(cfg HiddenAllocConfig) *Analyzer {
 						continue
 					}
 					checkHotFunc(pass, fd)
+					if pass.Facts != nil {
+						checkHotCallees(pass, fd, taint)
+					}
 				}
 			}
 		},
+	}
+}
+
+// checkHotCallees reports calls from a hot function (closures included)
+// into module functions whose call chains allocate per invocation —
+// the helper-laundering gap the local pattern scan cannot see.
+func checkHotCallees(pass *Pass, fd *ast.FuncDecl, taint map[*Node]bool) {
+	for _, n := range pass.Facts.Graph.Nodes {
+		if n.Pkg == nil || pass.Pkg == nil || n.Pkg.Types != pass.Pkg {
+			continue
+		}
+		if rd := rootDecl(pass, n); rd != fd {
+			continue
+		}
+		for _, e := range n.Out {
+			if !taint[e.Callee] || e.Kind == EdgeSpawn {
+				continue
+			}
+			// Direct x.Clone() sites are already flagged by the local scan.
+			if e.Site != nil {
+				if sel, ok := unparen(e.Site.Fun).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Clone" && len(e.Site.Args) == 0 {
+					continue
+				}
+			}
+			pass.Reportf(e.Pos, "hiddenalloc",
+				"hot path %s calls %s, whose call chain allocates per invocation "+
+					"(Clone or growing append); keep the chain allocation-free, or add "+
+					"the callee to HiddenAllocConfig.Cold if it is setup-only",
+				fd.Name.Name, e.Callee.Name)
+		}
 	}
 }
 

@@ -43,15 +43,52 @@ func NoRawRand() *Analyzer { return NoRawRandWith(DefaultNoRawRandConfig()) }
 
 // NoRawRandWith builds the norawrand analyzer with cfg (test hook).
 func NoRawRandWith(cfg NoRawRandConfig) *Analyzer {
+	// Interprocedural part: raw-rand taint seeds at direct uses in
+	// non-exempt packages and flows up call chains. Exempt packages are
+	// sanctioned wrappers (internal/rng owns generator internals), so
+	// they neither seed nor carry taint.
+	var cachedFacts *Facts
+	var taint map[*Node]bool
+	exempt := func(pkgPath string) bool {
+		for _, pattern := range cfg.ExemptPaths {
+			if pathMatch(pattern, pkgPath) {
+				return true
+			}
+		}
+		return false
+	}
 	return &Analyzer{
 		Name: "norawrand",
 		Doc: "forbids math/rand, math/rand/v2 and crypto/rand outside internal/rng; " +
 			"all randomness must come from seeded, splittable *rng.Source streams " +
-			"so runs replay bit-for-bit per seed",
+			"so runs replay bit-for-bit per seed — helper chains included",
 		Run: func(pass *Pass) {
-			for _, pattern := range cfg.ExemptPaths {
-				if pathMatch(pattern, pass.PkgPath) {
-					return
+			if exempt(pass.PkgPath) {
+				return
+			}
+			if pass.Facts != nil {
+				if pass.Facts != cachedFacts {
+					cachedFacts = pass.Facts
+					taint = pass.Facts.Taint(
+						func(n *Node) bool { return pass.Facts.Direct(n).RawRand },
+						func(n *Node) bool { return n.Pkg == nil || exempt(n.Pkg.Path) },
+						map[EdgeKind]bool{EdgeCall: true, EdgeSpawn: true, EdgeRef: true},
+					)
+				}
+				for _, n := range pass.Facts.Graph.Nodes {
+					if n.Pkg == nil || pass.Pkg == nil || n.Pkg.Types != pass.Pkg {
+						continue
+					}
+					for _, e := range n.Out {
+						// Same-package callees already carry their own
+						// direct-use reports on the same screen.
+						if taint[e.Callee] && e.Callee.Pkg.Path != pass.PkgPath {
+							pass.Reportf(e.Pos, "norawrand",
+								"call into %s, whose call chain draws from math/rand or "+
+									"crypto/rand; route randomness through a seeded *rng.Source",
+								e.Callee.Name)
+						}
+					}
 				}
 			}
 			for _, file := range pass.Files {

@@ -9,6 +9,7 @@ func TestNoRawRand(t *testing.T) {
 	}{
 		{"flags raw rand imports and uses", "norawrand_bad.go"},
 		{"silent on seeded streams", "norawrand_ok.go"},
+		{"flags cross-package taint chains", "norawrand_chain.go"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

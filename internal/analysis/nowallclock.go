@@ -73,14 +73,37 @@ func NoWallClock() *Analyzer { return NoWallClockWith(DefaultNoWallClockConfig()
 
 // NoWallClockWith builds the nowallclock analyzer with cfg (test hook).
 func NoWallClockWith(cfg NoWallClockConfig) *Analyzer {
+	// Interprocedural part: clock taint computed once per Facts. Taint
+	// flows through every module function — including package-allowlisted
+	// helpers, which is exactly the laundering gap the summaries close —
+	// but stops at functions allowlisted by qualified name: those are the
+	// vetted orchestration entry points whose callers stay legitimate.
+	var cachedFacts *Facts
+	var taint map[*Node]bool
 	return &Analyzer{
 		Name: "nowallclock",
 		Doc: "forbids time.Now/Since/timers/sleeps outside the orchestration-and-stats " +
 			"allowlist; wall-clock reads inside generation-step, operator or fitness " +
-			"code leak scheduling nondeterminism into the evolution trajectory",
+			"code leak scheduling nondeterminism into the evolution trajectory — " +
+			"including reads reached only through helper calls",
 		Run: func(pass *Pass) {
 			if allowedEverywhere(cfg.Allow, pass.PkgPath) {
 				return
+			}
+			if pass.Facts != nil {
+				if pass.Facts != cachedFacts {
+					cachedFacts = pass.Facts
+					sanctioned := func(n *Node) bool {
+						return n.Decl != nil && n.Pkg != nil &&
+							allowedFunc(cfg.Allow, n.Pkg.Path, n.Decl.Name.Name)
+					}
+					taint = pass.Facts.Taint(
+						func(n *Node) bool { return pass.Facts.Direct(n).ReadsClock },
+						sanctioned,
+						map[EdgeKind]bool{EdgeCall: true, EdgeSpawn: true, EdgeRef: true},
+					)
+				}
+				reportClockChains(pass, cfg, taint)
 			}
 			for _, file := range pass.Files {
 				ast.Inspect(file, func(n ast.Node) bool {
@@ -109,6 +132,44 @@ func NoWallClockWith(cfg NoWallClockConfig) *Analyzer {
 			}
 		},
 	}
+}
+
+// reportClockChains flags calls from unallowlisted functions into module
+// functions whose call chains reach the wall clock. Direct time.* uses
+// are handled by the local scan; this closes the helper-laundering gap
+// (ga.Step → stats helper → time.Now).
+func reportClockChains(pass *Pass, cfg NoWallClockConfig, taint map[*Node]bool) {
+	for _, n := range pass.Facts.Graph.Nodes {
+		if n.Pkg == nil || pass.Pkg == nil || n.Pkg.Types != pass.Pkg {
+			continue
+		}
+		if fd := rootDecl(pass, n); fd != nil &&
+			allowedFunc(cfg.Allow, pass.PkgPath, fd.Name.Name) {
+			continue
+		}
+		for _, e := range n.Out {
+			if taint[e.Callee] {
+				pass.Reportf(e.Pos, "nowallclock",
+					"call into %s, whose call chain observes the wall clock; evolution "+
+						"paths must be schedule-independent (vetted orchestration entry "+
+						"points belong on the nowallclock allowlist)", e.Callee.Name)
+			}
+		}
+	}
+}
+
+// rootDecl returns the FuncDecl lexically enclosing a node (itself for
+// declarations, the enclosing declaration for closures), or nil.
+func rootDecl(pass *Pass, n *Node) *ast.FuncDecl {
+	if n.Decl != nil {
+		return n.Decl
+	}
+	for _, f := range pass.Files {
+		if f.FileStart <= n.Pos() && n.Pos() <= f.FileEnd {
+			return enclosingFunc(f, n.Pos())
+		}
+	}
+	return nil
 }
 
 // allowedEverywhere reports whether a whole package is allowlisted.

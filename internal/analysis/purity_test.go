@@ -1,0 +1,6 @@
+package analysis
+
+import "testing"
+
+func TestPurityBad(t *testing.T) { checkRule(t, Purity(), "purity_bad.go") }
+func TestPurityOk(t *testing.T)  { checkRule(t, Purity(), "purity_ok.go") }

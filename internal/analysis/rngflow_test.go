@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+func TestRngFlowBad(t *testing.T) { checkRule(t, RngFlow(), "rngflow_bad.go") }
+func TestRngFlowOk(t *testing.T)  { checkRule(t, RngFlow(), "rngflow_ok.go") }
+
+// TestRngFlowBeyondSharedRNG pins the reason the rule exists: every
+// violation in rngflow_bad.go hides behind a named function or a helper
+// chain, so the local closure-capture rule sees none of them.
+func TestRngFlowBeyondSharedRNG(t *testing.T) {
+	diags := runFixture(t, SharedRNG(), "rngflow_bad.go")
+	if len(diags) != 0 {
+		t.Errorf("sharedrng unexpectedly caught %d of rngflow_bad.go's violations: %v",
+			len(diags), diags)
+	}
+}

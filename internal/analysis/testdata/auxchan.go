@@ -1,0 +1,23 @@
+// Package chanutil is a fixture helper that lives OUTSIDE the chantopo
+// scope (checked as pga/internal/chanutil): on its own it contributes
+// nothing to the modelled topology, and blockingsend never looks at it.
+// Its goroutine bodies join the channel graph only when scoped code
+// spawns them, with the channel parameters bound to concrete endpoints
+// at the go statement — the laundering gap a local rule cannot close.
+package chanutil
+
+// Pump forwards values from in to out; the send blocks once out's
+// buffer fills, so draining in requires progress on out. Spawned twice
+// head-to-tail from scoped code this closes a channel cycle.
+func Pump(in <-chan int, out chan<- int) {
+	for v := range in {
+		out <- v // want chantopo
+	}
+}
+
+// Drain consumes a channel without sending anywhere: an edge-free sink
+// the OK fixtures use to terminate pipelines.
+func Drain(in <-chan int) {
+	for range in {
+	}
+}

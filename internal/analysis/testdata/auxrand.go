@@ -1,0 +1,13 @@
+// Package jitter is a fixture helper that launders math/rand behind an
+// innocent-looking API (checked as pga/internal/jitter, which is not on
+// the norawrand exemption list). The import and the use are flagged
+// here; the interprocedural half of norawrand flags the cross-package
+// calls that reach it.
+package jitter
+
+import "math/rand" // want norawrand
+
+// Jitter perturbs v by ±1 using the process-global source.
+func Jitter(v int) int {
+	return v + rand.Intn(3) - 1 // want norawrand
+}

@@ -1,0 +1,36 @@
+package fixture
+
+// Fixture for the ignore-justification check: a directive without a
+// justification (or without a rule list) is itself a finding, and that
+// finding cannot be suppressed. Checked as pga/internal/ga. This file
+// carries no `// want` markers — the marker text on a directive line
+// would read as its justification — so TestBareIgnores pins the
+// expected lines explicitly.
+
+func justified(out chan<- int) {
+	//pgalint:ignore blockingsend fixture: receiver drained by construction
+	out <- 1
+}
+
+func bare(out chan<- int) {
+	//pgalint:ignore blockingsend
+	out <- 2
+}
+
+func ruleless(out chan<- int) {
+	//pgalint:ignore
+	out <- 3
+}
+
+func bareSameLine(out chan<- int) {
+	out <- 4 //pgalint:ignore blockingsend
+}
+
+func doubledDown(out chan<- int) {
+	// A justified ignore naming the "ignore" rule must NOT silence the
+	// check on the bare directive below it: the justification finding is
+	// unsuppressible by design.
+	//pgalint:ignore ignore fixture: attempting to suppress the ignore check itself
+	//pgalint:ignore blockingsend
+	out <- 5
+}

@@ -1,0 +1,55 @@
+package fixture
+
+// Seeded violation fixtures for chantopo: cycles of unconditionally
+// blocking sends in the channel topology. Checked as pga/internal/p2p
+// (a scoped communication runtime) with auxchan.go (pga/internal/
+// chanutil) as the out-of-scope helper whose goroutines join the
+// topology only via spawn-site binding.
+
+import (
+	chanutil "pga/internal/chanutil"
+)
+
+// ring wires two pumps head-to-tail: Pump(a,b) forwards a into b and
+// Pump(b,a) forwards b into a, so once both buffers fill each pump
+// blocks sending while the other blocks too. Neither goroutine body
+// lives in a scoped package — the cycle exists only after binding the
+// channel parameters at these go statements. The report lands on
+// Pump's send in auxchan.go.
+func ring() {
+	a := make(chan int, 1)
+	b := make(chan int, 1)
+	go chanutil.Pump(a, b)
+	go chanutil.Pump(b, a)
+	a <- 0
+}
+
+// node holds a per-deme inbox; relay feeds its own inbox back to
+// itself: a self-loop in the field-level channel graph.
+type node struct{ inbox chan int }
+
+func (n *node) relay() {
+	for v := range n.inbox {
+		n.inbox <- v + 1 // want chantopo
+	}
+}
+
+// deme models the classic migration ring at the field level: run
+// forwards in→out and pipe forwards out→in, so the two field channels
+// form a cycle once buffers fill.
+type deme struct {
+	in  chan int
+	out chan int
+}
+
+func (d *deme) run() {
+	for v := range d.in {
+		d.out <- v // want chantopo
+	}
+}
+
+func pipe(dst *deme, src *deme) {
+	for v := range src.out {
+		dst.in <- v // want chantopo
+	}
+}

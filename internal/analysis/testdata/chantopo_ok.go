@@ -1,0 +1,42 @@
+package fixture
+
+// Corrected counterparts for chantopo: the same communication shapes
+// with an acyclic channel graph or an escape on the closing edge.
+// Checked as pga/internal/island (a scoped communication runtime).
+
+// stage is a pipeline hop: in→out with no path back, so the field
+// graph is a chain, not a cycle. The bare send is an edge, but an
+// acyclic one.
+type stage struct {
+	in  chan int
+	out chan int
+}
+
+func (s *stage) forward() {
+	for v := range s.in {
+		s.out <- v
+	}
+}
+
+// shedder closes the ring shape but sheds when the successor is full:
+// the select with a default is non-blocking, so it contributes no
+// recv→send edge and the cycle never forms.
+func (s *stage) shedder() {
+	for v := range s.out {
+		select {
+		case s.in <- v:
+		default:
+		}
+	}
+}
+
+// fanOut distributes into per-worker channels and never receives: a
+// send-only node contributes no edges at all.
+func fanOut(outs []chan int, vs []int) {
+	for i, v := range vs {
+		select {
+		case outs[i%len(outs)] <- v:
+		default:
+		}
+	}
+}

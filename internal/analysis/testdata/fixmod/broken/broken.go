@@ -1,0 +1,10 @@
+// Package broken fails type checking on purpose: the loader must
+// collect the error and keep going, and the call-graph/summary layer
+// must degrade to partial information instead of panicking or
+// inventing edges.
+package broken
+
+// Half calls a function that does not exist.
+func Half(v int) int {
+	return undefinedHelper(v) / 2
+}

@@ -1,0 +1,32 @@
+// Package good exercises every call-graph edge kind for the -graph
+// golden: direct calls, method calls, named closures, an IIFE, a go
+// spawn and a function reference passed as an argument.
+package good
+
+import "fixmod/util"
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+// Run drives one of everything.
+func Run(vs []int) int {
+	c := &counter{}
+	total := 0
+	for _, v := range vs {
+		total = util.Add(total, v)
+	}
+	double := func(x int) int { return util.Add(x, x) }
+	total = util.Apply(double, total)
+	total += func() int {
+		c.inc()
+		return c.n
+	}()
+	done := make(chan struct{})
+	go func() {
+		c.inc()
+		close(done)
+	}()
+	<-done
+	return total
+}

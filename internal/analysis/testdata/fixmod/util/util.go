@@ -1,0 +1,8 @@
+// Package util is the helper package of the loader fixture module.
+package util
+
+// Add sums its arguments.
+func Add(a, b int) int { return a + b }
+
+// Apply calls f on v.
+func Apply(f func(int) int, v int) int { return f(v) }

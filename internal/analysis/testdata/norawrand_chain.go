@@ -1,0 +1,22 @@
+package fixture
+
+// Interprocedural fixture for norawrand: this file is spotless — no
+// forbidden import, no rand selector — yet perturb reaches math/rand
+// two calls away through the jitter helper package (auxrand.go). The
+// local import/use scan has nothing to say here; the summary engine
+// flags the cross-package call into the tainted chain. Checked as
+// pga/internal/operators.
+
+import (
+	jitter "pga/internal/jitter"
+)
+
+// perturb looks deterministic from this file alone.
+func perturb(v int) int {
+	return wobble(v)
+}
+
+// wobble is where the module's determinism actually leaks.
+func wobble(v int) int {
+	return jitter.Jitter(v) // want norawrand
+}

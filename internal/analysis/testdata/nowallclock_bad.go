@@ -23,3 +23,20 @@ func mutate(ind *individual) {
 	time.Sleep(time.Millisecond) // want nowallclock
 	ind.stamp = time.Time{}      // a time *value* is not a clock read
 }
+
+// helperLaundering never touches the time package itself: the clock
+// read is two calls away, which only the summary engine can see. Every
+// call edge into the tainted chain is flagged.
+func helperLaundering(pop []individual) {
+	stampAll(pop) // want nowallclock
+}
+
+func stampAll(pop []individual) {
+	for i := range pop {
+		pop[i].stamp = now() // want nowallclock
+	}
+}
+
+func now() time.Time {
+	return time.Now() // want nowallclock
+}

@@ -1,0 +1,86 @@
+package fixture
+
+// Seeded violation fixtures for purity: operator- and fitness-shaped
+// methods with effects beyond their documented allowance. Role matching
+// is by method name and parameter type names, so the local Genome/
+// Population/Direction/Scratch types and the fixture rng package
+// (auxrng.go, imported as pga/internal/fixrng) stand in for the real
+// interfaces. Checked as pga/internal/operators.
+
+import (
+	"time"
+
+	rng "pga/internal/fixrng"
+)
+
+type Genome []int
+type Population []Genome
+type Direction int
+type Scratch struct{ buf []int }
+
+// counter hides an evaluation count behind the fitness method: a data
+// race once the master-slave farm evaluates in parallel.
+type counter struct{ evals int }
+
+func (p *counter) Evaluate(g Genome) float64 { // want purity
+	p.evals++
+	return float64(len(g))
+}
+
+// fieldStream draws from a receiver-held stream. The draw happens two
+// calls away inside the rng package; advancing the stream mutates
+// receiver state, so concurrent Evaluate calls race.
+type fieldStream struct{ src *rng.Source }
+
+func (p *fieldStream) Evaluate(g Genome) float64 { // want purity
+	return float64(p.src.Intn(len(g) + 1))
+}
+
+// clocked times its own fitness call: wall-clock nondeterminism on an
+// evolution path.
+type clocked struct{}
+
+func (clocked) Evaluate(g Genome) float64 { // want purity
+	start := time.Now()
+	_ = start
+	return float64(len(g))
+}
+
+// parentScribbler mutates a parent genome: Cross documents no mutable
+// arguments — children are its return values.
+type parentScribbler struct{}
+
+func (parentScribbler) Cross(a, b Genome, r *rng.Source) (Genome, Genome) { // want purity
+	a[0] = r.Intn(len(a))
+	c := make(Genome, len(a), cap(a))
+	d := make(Genome, len(b), cap(b))
+	copy(c, a)
+	copy(d, b)
+	return c, d
+}
+
+// spawningMutate hands its stream to a goroutine: operators run
+// synchronously inside the generation step.
+type spawningMutate struct{}
+
+func (spawningMutate) Mutate(g Genome, r *rng.Source) { // want purity
+	done := make(chan struct{})
+	go func() {
+		g[0] = r.Intn(len(g))
+		close(done)
+	}()
+	<-done
+}
+
+// tally counts selections in package state through a helper: the write
+// is invisible to a local scan of Select.
+var tally int
+
+type globalTally struct{}
+
+func (globalTally) Select(p Population, d Direction, r *rng.Source) Genome { // want purity
+	bump()
+	return p[r.Intn(len(p))]
+}
+
+func bump() { tally++ }

@@ -1,0 +1,64 @@
+package fixture
+
+// Corrected counterparts for purity: the same role shapes, effect-free
+// apart from their documented argument mutation. Checked as
+// pga/internal/operators with auxrng.go (pga/internal/fixrng).
+
+import (
+	rng "pga/internal/fixrng"
+)
+
+type OkGenome []int
+type OkPopulation []OkGenome
+type OkDirection int
+type OkScratch struct{ buf []int }
+
+// pureProblem reads its receiver and its argument, writes neither.
+type pureProblem struct{ target int }
+
+func (p *pureProblem) Evaluate(g OkGenome) float64 {
+	return float64(genomeSum(g) - p.target)
+}
+
+func genomeSum(g OkGenome) int {
+	s := 0
+	for _, v := range g {
+		s += v
+	}
+	return s
+}
+
+// swapMutate edits exactly the genome it was handed, drawing from the
+// designated stream: both effects are the documented allowance.
+type swapMutate struct{}
+
+func (swapMutate) Mutate(g OkGenome, r *rng.Source) {
+	i, j := r.Intn(len(g)), r.Intn(len(g))
+	g[i], g[j] = g[j], g[i]
+}
+
+// cutCross fills the two child slots and its scratch — the CrossInto
+// contract — leaving parents untouched.
+type cutCross struct{}
+
+func (cutCross) CrossInto(pa, pb, ca, cb OkGenome, r *rng.Source, s *OkScratch) {
+	cut := r.Intn(len(pa) + 1)
+	s.buf = s.buf[:0]
+	copy(ca, pa[:cut])
+	copy(ca[cut:], pb[cut:])
+	copy(cb, pb[:cut])
+	copy(cb[cut:], pa[cut:])
+}
+
+// binaryTournament draws from its stream and returns a winner without
+// touching the population.
+type binaryTournament struct{}
+
+func (binaryTournament) Select(p OkPopulation, d OkDirection, r *rng.Source) OkGenome {
+	a := p[r.Intn(len(p))]
+	b := p[r.Intn(len(p))]
+	if (genomeSum(a) < genomeSum(b)) == (d == 0) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package fixture
+
+// Corrected counterparts for rngflow: per-goroutine stream ownership.
+// Checked as pga/internal/rng (same reasoning as rngflow_bad.go).
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// okWorker draws from the stream it was handed.
+func okWorker(r *rand.Rand, n int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	_ = r.Intn(n)
+}
+
+// handOff transfers one stream to one goroutine and never draws again:
+// single owner, no interleaving.
+func handOff(n int) {
+	r := rand.New(rand.NewSource(1))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go okWorker(r, n, &wg)
+	wg.Wait()
+}
+
+// childPerSpawn derives a child stream inside the loop body, so each
+// iteration's goroutine owns its stream; the parent keeps the original.
+// This is the sanctioned ws := r.Split() shape.
+func childPerSpawn(n int) {
+	r := rand.New(rand.NewSource(2))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		ws := rand.New(rand.NewSource(r.Int63()))
+		go okWorker(ws, n, &wg)
+	}
+	wg.Wait()
+	_ = r.Intn(n + 1)
+}
+
+// syncFanIn draws only on the calling goroutine, even though helpers are
+// involved: no spawn-draw evidence anywhere.
+func syncFanIn(n int) int {
+	r := rand.New(rand.NewSource(3))
+	total := 0
+	for i := 0; i < n; i++ {
+		total += oneDraw(r, n)
+	}
+	return total
+}
+
+func oneDraw(r *rand.Rand, n int) int { return r.Intn(n) }

@@ -152,6 +152,17 @@ func scenarios() map[string]func() trace {
 				RNG: rng.New(20),
 			}))
 		},
+		// Pins the in-place ERX path (PR 4) under rank selection, whose
+		// scratch-based ranking shares the same Scratch as the ERX
+		// adjacency table.
+		"generational/qap-erx-rank-swap": func() trace {
+			return engineTrace(ga.NewGenerational(ga.Config{
+				Problem: qap, PopSize: 24,
+				Selector:  operators.LinearRank{},
+				Crossover: operators.ERX{}, Mutator: operators.Swap{},
+				RNG: rng.New(25),
+			}))
+		},
 
 		// Steady-state engine, both replacement policies.
 		"steadystate/onemax-worst": func() trace {

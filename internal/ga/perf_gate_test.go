@@ -47,6 +47,18 @@ func allocGateCases() []allocGateCase {
 			RNG:       rng.New(1),
 		}
 	}
+	// The permutation benchmark (QAP stands in for TSP): ERX was the last
+	// crossover without an in-place variant, so this case gates the
+	// scratch-based adjacency rewrite at zero allocations per step.
+	qap := func() Config {
+		return Config{
+			Problem:   problems.NewQAP(16, 3),
+			PopSize:   100,
+			Crossover: operators.ERX{},
+			Mutator:   operators.Swap{},
+			RNG:       rng.New(1),
+		}
+	}
 	gapCfg := oneMax()
 	gapCfg.GenGap = 0.5
 	gapCfg.Elitism = 4
@@ -55,6 +67,7 @@ func allocGateCases() []allocGateCase {
 	return []allocGateCase{
 		{"generational/onemax", NewGenerational(oneMax()), 0},
 		{"generational/sphere", NewGenerational(sphere()), 0},
+		{"generational/qap-erx", NewGenerational(qap()), 0},
 		{"generational/gap+elitism", NewGenerational(gapCfg), 0},
 		{"generational/rank-selection", NewGenerational(rankCfg), 0},
 		{"steady-state/onemax", NewSteadyState(oneMax(), true), 0},

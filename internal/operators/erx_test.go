@@ -101,3 +101,54 @@ func TestERXDeterministicPerSeed(t *testing.T) {
 		}
 	}
 }
+
+// TestERXCrossIntoMatchesCross proves the in-place variant is
+// draw-identical to the allocating form: same parents and seed produce
+// the same children AND leave the RNG stream in the same state (checked
+// by comparing the next draw), across sizes that exercise the tie-break
+// and dead-end restart paths.
+func TestERXCrossIntoMatchesCross(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 17, 40} {
+		for seed := uint64(1); seed <= 8; seed++ {
+			setup := rng.New(seed)
+			a := genome.RandomPermutation(n, setup)
+			b := genome.RandomPermutation(n, setup)
+
+			r1 := rng.New(seed * 101)
+			c1, c2 := (ERX{}).Cross(a, b, r1)
+
+			r2 := rng.New(seed * 101)
+			s := &Scratch{}
+			d1 := &genome.Permutation{Perm: make([]int, n)}
+			d2 := &genome.Permutation{Perm: make([]int, n)}
+			(ERX{}).CrossInto(a, b, d1, d2, r2, s)
+
+			p1, p2 := c1.(*genome.Permutation), c2.(*genome.Permutation)
+			for i := 0; i < n; i++ {
+				if p1.Perm[i] != d1.Perm[i] || p2.Perm[i] != d2.Perm[i] {
+					t.Fatalf("n=%d seed=%d: CrossInto children diverge from Cross at %d", n, seed, i)
+				}
+			}
+			if r1.Uint64() != r2.Uint64() {
+				t.Fatalf("n=%d seed=%d: RNG streams diverge after crossover", n, seed)
+			}
+		}
+	}
+}
+
+// TestERXCrossIntoAllocFree gates the point of the in-place variant:
+// after the scratch warms up, a CrossInto performs zero heap allocations.
+func TestERXCrossIntoAllocFree(t *testing.T) {
+	r := rng.New(5)
+	a := genome.RandomPermutation(32, r)
+	b := genome.RandomPermutation(32, r)
+	c1 := &genome.Permutation{Perm: make([]int, 32)}
+	c2 := &genome.Permutation{Perm: make([]int, 32)}
+	s := &Scratch{}
+	avg := testing.AllocsPerRun(50, func() {
+		(ERX{}).CrossInto(a, b, c1, c2, r, s)
+	})
+	if avg != 0 {
+		t.Errorf("ERX.CrossInto: %.1f allocs per call, want 0", avg)
+	}
+}

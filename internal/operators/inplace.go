@@ -32,6 +32,15 @@ type Scratch struct {
 	flags  []bool
 	rank   rankSorter
 	sus    []int
+
+	// ERX working memory: the union adjacency of two closed tours is at
+	// most four neighbours per city, so the edge table is a flat n×4
+	// array with per-city counts — no per-call maps.
+	erxEdges  []int // city v's neighbours at [4v : 4v+erxCnt[v]], ascending
+	erxCnt    []int // neighbour count per city
+	erxRem    []int // remaining-degree, reset per child
+	erxCand   []int // minimum-degree candidate buffer (≤ 4)
+	erxUnused []int // dead-end restart buffer
 }
 
 // ints returns a length-n int buffer (contents undefined).
@@ -208,8 +217,9 @@ type InPlaceCrossover interface {
 	CrossInto(a, b, c1, c2 core.Genome, r *rng.Source, s *Scratch)
 }
 
-// Compile-time checks: every crossover except ERX (whose per-call edge
-// maps are inherently allocating) has an in-place variant.
+// Compile-time checks: every library crossover has an in-place variant
+// (ERX's per-call edge maps are replaced by a flat scratch-owned
+// adjacency table).
 var (
 	_ InPlaceCrossover = OnePoint{}
 	_ InPlaceCrossover = TwoPoint{}
@@ -221,6 +231,7 @@ var (
 	_ InPlaceCrossover = OX{}
 	_ InPlaceCrossover = PMX{}
 	_ InPlaceCrossover = CX{}
+	_ InPlaceCrossover = ERX{}
 )
 
 // CrossInto recombines parents a and b into the two child individuals'
@@ -502,5 +513,128 @@ func (CX) CrossInto(a, b, c1, c2 core.Genome, r *rng.Source, s *Scratch) {
 			k = posInA[pb.Perm[k]]
 		}
 		fromA = !fromA
+	}
+}
+
+// CrossInto implements InPlaceCrossover.
+func (ERX) CrossInto(a, b, c1, c2 core.Genome, r *rng.Source, s *Scratch) {
+	pa, pb := mustPerm(a), mustPerm(b)
+	ca, cb := mustPerm(c1), mustPerm(c2)
+	n := pa.Len()
+	if n < 2 {
+		ca.CopyFrom(pa)
+		cb.CopyFrom(pb)
+		return
+	}
+	erxEdgesInto(s, pa.Perm, pb.Perm)
+	erxChildInto(ca, pa.Perm[0], n, r, s)
+	erxChildInto(cb, pb.Perm[0], n, r, s)
+}
+
+// erxEdgesInto fills the scratch adjacency table with each city's
+// neighbour set over both parent tours (closed tours: first and last are
+// adjacent). Per-city lists are kept ascending by sorted insertion, which
+// is what buildEdgeMap's post-sort produces — the candidate scan order,
+// and therefore the RNG draw sequence, is identical to erxChild's.
+func erxEdgesInto(s *Scratch, pa, pb []int) {
+	n := len(pa)
+	if cap(s.erxEdges) < 4*n {
+		s.erxEdges = make([]int, 4*n)
+		s.erxCnt = make([]int, n)
+		s.erxRem = make([]int, n)
+		s.erxCand = make([]int, 4)
+		s.erxUnused = make([]int, n)
+	}
+	edges, cnt := s.erxEdges[:4*n], s.erxCnt[:n]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	add := func(v, u int) {
+		base := 4 * v
+		k := 0
+		for ; k < cnt[v]; k++ {
+			if edges[base+k] == u {
+				return
+			}
+			if edges[base+k] > u {
+				break
+			}
+		}
+		for j := cnt[v]; j > k; j-- {
+			edges[base+j] = edges[base+j-1]
+		}
+		edges[base+k] = u
+		cnt[v]++
+	}
+	addTour := func(p []int) {
+		for i, v := range p {
+			add(v, p[(i+n-1)%n])
+			add(v, p[(i+1)%n])
+		}
+	}
+	addTour(pa)
+	addTour(pb)
+}
+
+// erxChildInto is erxChild writing into child's existing Perm, reading
+// the adjacency table prepared by erxEdgesInto. The greedy walk, the
+// tie-break draws and the dead-end restart draws mirror erxChild exactly.
+func erxChildInto(child *genome.Permutation, start, n int, r *rng.Source, s *Scratch) {
+	edges, cnt := s.erxEdges, s.erxCnt
+	rem := s.erxRem[:n]
+	copy(rem, cnt)
+	used := s.bools(n)
+	cur := start
+	filled := 0
+	for {
+		child.Perm[filled] = cur
+		filled++
+		used[cur] = true
+		if filled == n {
+			break
+		}
+		// Decrease the remaining-degree of cur's neighbours.
+		base := 4 * cur
+		for k := 0; k < cnt[cur]; k++ {
+			if u := edges[base+k]; !used[u] {
+				rem[u]--
+			}
+		}
+		// Next: unused neighbour with the fewest remaining edges; ties
+		// broken uniformly at random. Indexed writes, not append: the
+		// buffers are scratch-owned and exactly sized.
+		cand := s.erxCand[:4]
+		candN := 0
+		bestDeg := 1 << 30
+		for k := 0; k < cnt[cur]; k++ {
+			u := edges[base+k]
+			if used[u] {
+				continue
+			}
+			switch {
+			case rem[u] < bestDeg:
+				bestDeg = rem[u]
+				cand[0] = u
+				candN = 1
+			case rem[u] == bestDeg:
+				cand[candN] = u
+				candN++
+			}
+		}
+		if candN == 0 {
+			// Dead end: restart from a uniformly random unused city
+			// (ascending scan, exactly like erxChild's unused slice).
+			unused := s.erxUnused[:n]
+			un := 0
+			for v := 0; v < n; v++ {
+				if !used[v] {
+					unused[un] = v
+					un++
+				}
+			}
+			cur = unused[r.Intn(un)]
+			continue
+		}
+		cur = cand[r.Intn(candN)]
 	}
 }
