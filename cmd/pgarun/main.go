@@ -128,9 +128,9 @@ func main() {
 		} else {
 			res = m.RunSequential(stop, false)
 		}
-		fmt.Printf("%s: best=%g gens=%d evals=%d solved=%v migrations=%d (%v)\n",
+		fmt.Printf("%s: best=%g gens=%d evals=%d solved=%v migrations=%d stop=%q (%v)\n",
 			prob.Name(), res.BestFitness, res.Generations, res.Evaluations,
-			res.Solved, res.Migrations, res.Elapsed)
+			res.Solved, res.Migrations, res.StopReason, res.Elapsed)
 		fmt.Printf("per-deme best: %v\n", res.PerDemeBest)
 	case "p2p":
 		n := p2p.New(p2p.Config{
@@ -143,9 +143,9 @@ func main() {
 			Seed:      *seed,
 		})
 		res := n.Run(*gens)
-		fmt.Printf("%s: best=%g solved=%v evals=%d peers-alive=%d departures=%d joins=%d messages=%d (%v)\n",
-			prob.Name(), res.BestFitness, res.Solved, res.Evaluations,
-			res.AliveAtEnd, res.Departures, res.Joins, res.Messages, res.Elapsed)
+		fmt.Printf("%s: best=%g gens=%d solved=%v evals=%d peers-alive=%d departures=%d joins=%d messages=%d stop=%q (%v)\n",
+			prob.Name(), res.BestFitness, res.Generations, res.Solved, res.Evaluations,
+			res.AliveAtEnd, res.Departures, res.Joins, res.Messages, res.StopReason, res.Elapsed)
 	default:
 		fmt.Fprintf(os.Stderr, "pgarun: unknown model %q\n", *model)
 		os.Exit(2)

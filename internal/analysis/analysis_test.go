@@ -19,7 +19,7 @@ var fixturePkgPaths = map[string]string{
 	"norawrand_ok.go":     "pga/internal/operators",
 	"norawrand_chain.go":  "pga/internal/operators",
 	"nowallclock_bad.go":  "pga/internal/operators",
-	"nowallclock_ok.go":   "pga/internal/ga",
+	"nowallclock_ok.go":   "pga/internal/hga",
 	"blockingsend_bad.go": "pga/internal/p2p",
 	"blockingsend_ok.go":  "pga/internal/supervise",
 	"sharedrng_bad.go":    "pga/internal/rng",

@@ -52,18 +52,20 @@ func DefaultNoWallClockConfig() NoWallClockConfig {
 		"pga/internal/exp",
 		"pga/internal/stats",
 		// The supervision layer exists to impose deadlines and backoff.
+		// RunStep and Restart are additionally allowlisted by name so the
+		// clock taint stops at them: they are the vetted supervision entry
+		// points the model steppers call per generation.
 		"pga/internal/supervise",
+		"pga/internal/supervise.RunStep",
+		"pga/internal/supervise.Restart",
 		// Run-orchestration entry points: they time Elapsed around the
-		// (deterministic) evolution loop, never inside a step.
-		"pga/internal/ga.Run",
+		// (deterministic) evolution loop, never inside a step. engine.Loop
+		// is the shared run-loop driver every runtime delegates to; the
+		// async island wrappers additionally time the goroutine join.
+		"pga/internal/engine.Loop",
 		"pga/internal/hga.Run",
-		"pga/internal/p2p.Run",
-		"pga/internal/island.RunSequential",
-		"pga/internal/island.runParallelSync",
 		"pga/internal/island.runParallelAsync",
-		"pga/internal/island.runParallelSyncSupervised",
 		"pga/internal/island.runParallelAsyncSupervised",
-		"pga/internal/island.finish",
 	}}
 }
 

@@ -28,7 +28,7 @@ func TestNoWallClockPackageAllowlist(t *testing.T) {
 }
 
 func TestNoWallClockFunctionAllowlistIsExact(t *testing.T) {
-	// nowallclock_ok.go relies on the pga/internal/ga.Run entry; the same
+	// nowallclock_ok.go relies on the pga/internal/hga.Run entry; the same
 	// file under a different package path must be flagged.
 	pkg := loadFixtureAs(t, "nowallclock_ok.go", "pga/internal/operators")
 	diags := RunAnalyzers("", []*Package{pkg}, []*Analyzer{NoWallClock()})

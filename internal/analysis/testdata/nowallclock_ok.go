@@ -1,7 +1,7 @@
 package fixture
 
 // Corrected fixture for nowallclock: timing confined to the allowlisted
-// run-orchestration entry point (checked as pga/internal/ga, whose Run
+// run-orchestration entry point (checked as pga/internal/hga, whose Run
 // function is on the allowlist) plus clock-free duration arithmetic.
 
 import "time"

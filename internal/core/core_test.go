@@ -290,7 +290,7 @@ func TestAnyOfPollsStatefulChildren(t *testing.T) {
 }
 
 func TestResultString(t *testing.T) {
-	res := &Result{Problem: "p", BestFitness: 1, Generations: 2, Evaluations: 3, StopReason: "x"}
+	res := &Result{Problem: "p", RunStats: RunStats{BestFitness: 1, Generations: 2, Evaluations: 3, StopReason: "x"}}
 	if res.String() == "" {
 		t.Fatal("empty Result.String")
 	}

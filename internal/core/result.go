@@ -13,31 +13,48 @@ type TracePoint struct {
 	Mean        float64
 }
 
-// Result summarises a completed evolutionary run.
-type Result struct {
-	// Problem is the name of the problem that was optimised.
-	Problem string
-	// Best is the best individual found.
+// RunStats is the uniform accounting block shared by every runtime's
+// result type: all eight PGA models (sequential, master–slave, island,
+// cellular, hierarchical, p2p, SIM, and the supervised variants) embed it,
+// so Generations/Evaluations/BestFitness/Elapsed mean the same thing
+// everywhere — the common accounting that Harada & Alba's evaluation
+// methodology requires for cross-model comparison. It is filled by
+// engine.Loop, the shared run-loop driver. What one "evaluation" counts
+// per model is documented in DESIGN §3.
+type RunStats struct {
+	// Best is the best individual found (a stable copy; nil when the model
+	// tracks fitness only, e.g. free-running async demes).
 	Best *Individual
-	// BestFitness is Best's fitness (kept separate so Result survives
-	// genome reuse).
+	// BestFitness is the best fitness seen over the whole run (kept
+	// separate from Best so RunStats survives genome reuse).
 	BestFitness float64
-	// Generations is the number of completed steps.
+	// Generations is the number of completed steps (the maximum over demes
+	// in asynchronous parallel modes).
 	Generations int
 	// Evaluations is the total number of fitness evaluations.
 	Evaluations int64
-	// Solved reports whether a known optimum was reached (false when the
-	// problem is not TargetAware).
+	// Solved reports whether a known optimum was reached (always false
+	// when the problem is not TargetAware).
 	Solved bool
 	// SolvedAtEval is the evaluation count at which the optimum was first
 	// reached (0 when !Solved).
 	SolvedAtEval int64
+	// SolvedAtGen is the generation at which the optimum was first
+	// reached (0 when !Solved).
+	SolvedAtGen int
 	// StopReason describes which condition terminated the run.
 	StopReason string
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// Trace holds per-step progress samples when tracing was enabled.
 	Trace []TracePoint
+}
+
+// Result summarises a completed evolutionary run of a single engine.
+type Result struct {
+	RunStats
+	// Problem is the name of the problem that was optimised.
+	Problem string
 }
 
 // String implements fmt.Stringer.

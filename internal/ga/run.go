@@ -1,9 +1,8 @@
 package ga
 
 import (
-	"time"
-
 	"pga/internal/core"
+	"pga/internal/engine"
 )
 
 // RunOptions tunes Run's behaviour.
@@ -15,83 +14,85 @@ type RunOptions struct {
 	// OnStep, when non-nil, is called after every step with the current
 	// status (hook for live displays and experiment instrumentation).
 	OnStep func(core.Status)
+	// Observers receive the engine.Loop lifecycle hooks (OnGeneration /
+	// OnMigration / OnRestart / OnDone) — the seam for observability
+	// tooling. OnStep is a shorthand for a generation-only observer.
+	Observers []engine.Observer
 }
+
+// stepper adapts an Engine to the shared run-loop driver: the engine's
+// Step is the whole model-specific part of a panmictic run (this also
+// covers cellular engines run standalone and engines evaluating through a
+// master–slave farm — both implement Engine).
+type stepper struct {
+	e Engine
+}
+
+// Step implements engine.Stepper.
+func (s stepper) Step(int) engine.StepInfo {
+	s.e.Step()
+	return engine.StepInfo{}
+}
+
+// Best implements engine.Stepper.
+func (s stepper) Best() (*core.Individual, float64) {
+	dir := s.e.Problem().Direction()
+	pop := s.e.Population()
+	if i := pop.Best(dir); i >= 0 {
+		return pop.Members[i], pop.Members[i].Fitness
+	}
+	return nil, dir.Worst()
+}
+
+// Evaluations implements engine.Stepper.
+func (s stepper) Evaluations() int64 { return s.e.Evaluations() }
+
+// Direction implements engine.Stepper.
+func (s stepper) Direction() core.Direction { return s.e.Problem().Direction() }
+
+// MeanFitness implements engine.MeanReporter.
+func (s stepper) MeanFitness() float64 { return s.e.Population().MeanFitness() }
+
+// stepCallback adapts RunOptions.OnStep to the observer seam; the
+// generation-0 hook is not forwarded (OnStep fires once per step).
+type stepCallback func(core.Status)
+
+// OnGeneration implements engine.Observer.
+func (f stepCallback) OnGeneration(s core.Status) {
+	if s.Generation > 0 {
+		f(s)
+	}
+}
+
+// OnMigration implements engine.Observer.
+func (f stepCallback) OnMigration(int, int64) {}
+
+// OnRestart implements engine.Observer.
+func (f stepCallback) OnRestart(int, int64) {}
+
+// OnDone implements engine.Observer.
+func (f stepCallback) OnDone(*core.RunStats) {}
 
 // Run drives engine step by step until the stop condition fires and
 // returns the run summary. It is the single sequential "run loop" used by
-// baselines and by each island goroutine.
-func Run(engine Engine, opts RunOptions) *core.Result {
+// baselines and by each island goroutine; the actual loop is engine.Loop.
+func Run(e Engine, opts RunOptions) *core.Result {
 	if opts.Stop == nil {
 		panic("ga: RunOptions.Stop is required")
 	}
-	start := time.Now()
-	dir := engine.Problem().Direction()
-	ta, hasTarget := engine.Problem().(core.TargetAware)
-
-	res := &core.Result{Problem: engine.Problem().Name()}
-	best := dir.Worst()
-	var bestInd *core.Individual
-	record := func() bool {
-		improved := false
-		pop := engine.Population()
-		if i := pop.Best(dir); i >= 0 && dir.Better(pop.Members[i].Fitness, best) {
-			best = pop.Members[i].Fitness
-			// Reuse one tracker individual instead of cloning on every
-			// improving generation (improvements are frequent early on).
-			if bestInd == nil {
-				bestInd = pop.Members[i].Clone()
-			} else {
-				bestInd.CopyFrom(pop.Members[i])
-			}
-			improved = true
-			if hasTarget && !res.Solved && ta.Solved(best) {
-				res.Solved = true
-				res.SolvedAtEval = engine.Evaluations()
-			}
-		}
-		return improved
+	res := &core.Result{Problem: e.Problem().Name()}
+	ta, _ := e.Problem().(core.TargetAware)
+	observers := opts.Observers
+	if opts.OnStep != nil {
+		observers = append(observers, stepCallback(opts.OnStep))
 	}
-	record() // initial population counts
-
-	status := core.Status{
-		Generation:  0,
-		Evaluations: engine.Evaluations(),
-		BestFitness: best,
-		Improved:    true,
-	}
-	if opts.Trace {
-		res.Trace = append(res.Trace, core.TracePoint{
-			Generation: 0, Evaluations: status.Evaluations,
-			Best: best, Mean: engine.Population().MeanFitness(),
-		})
-	}
-
-	for !opts.Stop.Done(status) {
-		engine.Step()
-		status.Generation++
-		status.Evaluations = engine.Evaluations()
-		status.Improved = record()
-		status.BestFitness = best
-		if opts.Trace {
-			res.Trace = append(res.Trace, core.TracePoint{
-				Generation: status.Generation, Evaluations: status.Evaluations,
-				Best: best, Mean: engine.Population().MeanFitness(),
-			})
-		}
-		if opts.OnStep != nil {
-			opts.OnStep(status)
-		}
-	}
-
-	res.Best = bestInd
-	res.BestFitness = best
-	res.Generations = status.Generation
-	res.Evaluations = status.Evaluations
-	res.Elapsed = time.Since(start)
-	if any, ok := opts.Stop.(core.AnyOf); ok {
-		res.StopReason = any.FiredReason(status)
-	} else {
-		res.StopReason = opts.Stop.Reason()
-	}
+	engine.Loop(stepper{e: e}, engine.Options{
+		Stop:              opts.Stop,
+		Target:            ta,
+		InitialSolve:      true,
+		Trace:             opts.Trace,
+		InitialTracePoint: true,
+		Observers:         observers,
+	}, &res.RunStats)
 	return res
 }

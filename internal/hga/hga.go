@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pga/internal/core"
+	"pga/internal/engine"
 	"pga/internal/ga"
 	"pga/internal/genome"
 	"pga/internal/operators"
@@ -153,25 +154,17 @@ func (p *layerProblem) Evaluate(g core.Genome) float64 {
 	return p.mf.EvaluateAt(p.level, g)
 }
 
-// Result summarises an HGA run.
+// Result summarises an HGA run. The embedded core.RunStats holds the
+// accounting common to every runtime: BestFitness is the best
+// precise-model fitness reached (the final best of every deme is
+// re-scored with the precise model), and Evaluations counts raw
+// evaluations at any fidelity level (Cost weighs them by level).
 type Result struct {
-	// BestFitness is the best precise-model fitness reached (the final
-	// best of every deme is re-scored with the precise model).
-	BestFitness float64
-	// Best is the corresponding individual.
-	Best *core.Individual
+	core.RunStats
 	// Cost is the accumulated evaluation cost in precise-evaluation units.
 	Cost float64
-	// Evaluations counts raw evaluations at any level.
-	Evaluations int64
-	// Generations completed.
-	Generations int
-	// Solved reports whether the precise model's optimum was reached.
-	Solved bool
 	// CostAtSolve is the accumulated cost when first solved.
 	CostAtSolve float64
-	// Elapsed is wall-clock time.
-	Elapsed time.Duration
 }
 
 // Model is an instantiated hierarchy.
@@ -304,36 +297,73 @@ func (m *Model) promote() {
 	}
 }
 
+// costCap stops the hierarchy when the accumulated evaluation cost
+// reaches the budget (the status snapshot has no cost notion, so the
+// condition reads the model directly).
+type costCap struct {
+	m      *Model
+	budget float64
+}
+
+// Done implements core.StopCondition.
+func (c costCap) Done(core.Status) bool { return c.m.cost >= c.budget }
+
+// Reason implements core.StopCondition.
+func (c costCap) Reason() string { return "cost budget exhausted" }
+
+// hierStepper is the hierarchy's engine.Stepper: one generation steps
+// every deme, then promotes on schedule. Best() reports the top layer's
+// best only when that layer evaluates with the precise model — quality on
+// cheaper models is not comparable, so the loop tracks nothing otherwise
+// and the final re-scoring fills the result in.
+type hierStepper struct{ m *Model }
+
+// Step implements engine.Stepper.
+func (s *hierStepper) Step(gen int) engine.StepInfo {
+	for _, e := range s.m.demes {
+		e.Step()
+	}
+	if gen%s.m.cfg.MigrationInterval == 0 {
+		s.m.promote()
+	}
+	return engine.StepInfo{}
+}
+
+// Best implements engine.Stepper.
+func (s *hierStepper) Best() (*core.Individual, float64) {
+	m := s.m
+	if m.cfg.LevelOf[0] != 0 {
+		return nil, m.dir.Worst()
+	}
+	pop := m.demes[0].Population()
+	if b := pop.Best(m.dir); b >= 0 {
+		return pop.Members[b], pop.Members[b].Fitness
+	}
+	return nil, m.dir.Worst()
+}
+
+// Evaluations implements engine.Stepper.
+func (s *hierStepper) Evaluations() int64 { return s.m.evals }
+
+// Direction implements engine.Stepper.
+func (s *hierStepper) Direction() core.Direction { return s.m.dir }
+
 // Run advances the hierarchy until the cost budget is exhausted or the
 // precise optimum is found.
 func (m *Model) Run(costBudget float64) *Result {
 	start := time.Now()
-	res := &Result{BestFitness: m.dir.Worst()}
-	ta, hasTarget := core.Problem(m.cfg.Problem).(core.TargetAware)
+	res := &Result{}
+	ta, _ := core.Problem(m.cfg.Problem).(core.TargetAware)
 
-	gen := 0
-	for m.cost < costBudget {
-		for _, e := range m.demes {
-			e.Step()
-		}
-		gen++
-		if gen%m.cfg.MigrationInterval == 0 {
-			m.promote()
-		}
-		// Track precise-model quality via the top layer (its engine already
-		// evaluates at the top layer's level; when that level is 0 this is
-		// the precise fitness).
-		if m.cfg.LevelOf[0] == 0 {
-			top := m.demes[0].Population().BestFitness(m.dir)
-			if m.dir.Better(top, res.BestFitness) {
-				res.BestFitness = top
-			}
-			if hasTarget && !res.Solved && ta.Solved(res.BestFitness) {
-				res.Solved = true
-				res.CostAtSolve = m.cost
-				break
-			}
-		}
+	engine.Loop(&hierStepper{m: m}, engine.Options{
+		Stop:        costCap{m: m, budget: costBudget},
+		Target:      ta,
+		HaltOnSolve: true,
+	}, &res.RunStats)
+	if res.Solved {
+		// The loop halted the moment the target was reached, so the
+		// accumulated cost still reads the solve instant.
+		res.CostAtSolve = m.cost
 	}
 
 	// Final precise re-scoring of every deme's best.
@@ -348,13 +378,12 @@ func (m *Model) Run(costBudget float64) *Result {
 			}
 		}
 	}
-	if hasTarget && !res.Solved && ta.Solved(res.BestFitness) {
+	if ta != nil && !res.Solved && ta.Solved(res.BestFitness) {
 		res.Solved = true
 		res.CostAtSolve = m.cost
 	}
 	res.Cost = m.cost
-	res.Evaluations = m.evals
-	res.Generations = gen
+	// Re-stamp so Elapsed includes the final re-scoring pass.
 	res.Elapsed = time.Since(start)
 	return res
 }

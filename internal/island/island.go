@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"pga/internal/core"
+	"pga/internal/engine"
 	"pga/internal/ga"
 	"pga/internal/migration"
 	"pga/internal/rng"
@@ -66,31 +67,16 @@ type Config struct {
 // rewirable is implemented by dynamic topologies (topology.Dynamic).
 type rewirable interface{ Rewire() }
 
-// Result summarises an island-model run.
+// Result summarises an island-model run. The embedded core.RunStats holds
+// the accounting common to every runtime (best, generations, evaluations,
+// solve point, elapsed, trace); in asynchronous modes SolvedAtEval is the
+// post-stop total and slightly overcounts the instant of solving, because
+// other demes' counters cannot be snapshotted without racing them.
 type Result struct {
-	// Best is the best individual found across all demes.
-	Best *core.Individual
-	// BestFitness is Best's fitness.
-	BestFitness float64
-	// Generations is the number of island generations completed (the
-	// maximum over demes in parallel mode).
-	Generations int
-	// Evaluations is the total fitness evaluations across all demes.
-	Evaluations int64
-	// Solved reports whether the problem's known optimum was reached.
-	Solved bool
-	// SolvedAtEval is the total evaluation count when first solved.
-	SolvedAtEval int64
-	// SolvedAtGen is the island generation when first solved.
-	SolvedAtGen int
+	core.RunStats
 	// Migrations counts migrant batches delivered (one batch = Count
 	// individuals sent over one link).
 	Migrations int64
-	// Elapsed is the wall-clock duration.
-	Elapsed time.Duration
-	// Trace is the global best per generation (sequential mode, and
-	// sync-parallel mode, when tracing was requested).
-	Trace []core.TracePoint
 	// PerDemeBest is the final best fitness of each deme (a dead deme
 	// reports its last checkpoint).
 	PerDemeBest []float64
@@ -286,6 +272,50 @@ func (m *Model) exchangeOn(topo topology.Topology) int64 {
 	return batches
 }
 
+// modelStepper is the engine.Stepper state shared by the lockstep
+// (sequential) and barriered (sync-parallel) runners: global best,
+// evaluation totals and the migration-epoch counter live here; only the
+// way demes advance differs.
+type modelStepper struct {
+	m      *Model
+	epochs int64
+}
+
+// migrateDue runs one synchronous migration epoch over topo when the
+// policy is due at gen, counting completed epochs for dynamic rewiring.
+func (s *modelStepper) migrateDue(gen int) (batches int64) {
+	if !s.m.cfg.Policy.Due(gen) {
+		return 0
+	}
+	batches = s.m.exchange()
+	s.epochs++
+	s.m.maybeRewire(s.epochs)
+	return batches
+}
+
+// Best implements engine.Stepper.
+func (s *modelStepper) Best() (*core.Individual, float64) { return s.m.globalBestRef() }
+
+// Evaluations implements engine.Stepper.
+func (s *modelStepper) Evaluations() int64 { return s.m.totalEvaluations() }
+
+// Direction implements engine.Stepper.
+func (s *modelStepper) Direction() core.Direction { return s.m.dir }
+
+// MeanFitness implements engine.MeanReporter.
+func (s *modelStepper) MeanFitness() float64 { return s.m.meanFitness() }
+
+// lockstepStepper advances every deme in the calling goroutine.
+type lockstepStepper struct{ modelStepper }
+
+// Step implements engine.Stepper.
+func (s *lockstepStepper) Step(gen int) engine.StepInfo {
+	for _, e := range s.m.engines {
+		e.Step()
+	}
+	return engine.StepInfo{Migrations: s.migrateDue(gen)}
+}
+
 // RunSequential advances all demes in lockstep until stop fires,
 // performing synchronous migration whenever the policy is due. It is fully
 // deterministic for a given Config.
@@ -293,57 +323,17 @@ func (m *Model) RunSequential(stop core.StopCondition, trace bool) *Result {
 	if stop == nil {
 		panic("island: stop condition required")
 	}
-	start := time.Now()
 	res := &Result{}
-	ta, hasTarget := m.problem.(core.TargetAware)
-
-	// best is a reusable tracker individual, copied over (not re-cloned)
-	// on every improving generation.
-	best, bestFit := m.globalBest()
-	checkSolved := func(gen int) {
-		if hasTarget && !res.Solved && ta.Solved(bestFit) {
-			res.Solved = true
-			res.SolvedAtEval = m.totalEvaluations()
-			res.SolvedAtGen = gen
-		}
-	}
-	checkSolved(0)
-
-	status := core.Status{Generation: 0, Evaluations: m.totalEvaluations(), BestFitness: bestFit, Improved: true}
-	if trace {
-		res.Trace = append(res.Trace, core.TracePoint{Generation: 0, Evaluations: status.Evaluations, Best: bestFit, Mean: m.meanFitness()})
-	}
-
-	var epochs int64
-	for !stop.Done(status) {
-		for _, e := range m.engines {
-			e.Step()
-		}
-		status.Generation++
-		if m.cfg.Policy.Due(status.Generation) {
-			res.Migrations += m.exchange()
-			epochs++
-			m.maybeRewire(epochs)
-		}
-		nb, nf := m.globalBestRef()
-		status.Improved = m.dir.Better(nf, bestFit)
-		if status.Improved {
-			bestFit = nf
-			if best == nil {
-				best = nb.Clone()
-			} else {
-				best.CopyFrom(nb)
-			}
-		}
-		status.BestFitness = bestFit
-		status.Evaluations = m.totalEvaluations()
-		checkSolved(status.Generation)
-		if trace {
-			res.Trace = append(res.Trace, core.TracePoint{Generation: status.Generation, Evaluations: status.Evaluations, Best: bestFit, Mean: m.meanFitness()})
-		}
-	}
-
-	m.finish(res, best, bestFit, status.Generation, start)
+	ta, _ := m.problem.(core.TargetAware)
+	totals := engine.Loop(&lockstepStepper{modelStepper{m: m}}, engine.Options{
+		Stop:              stop,
+		Target:            ta,
+		InitialSolve:      true,
+		Trace:             trace,
+		InitialTracePoint: true,
+	}, &res.RunStats)
+	res.Migrations = totals.Migrations
+	m.finish(res)
 	return res
 }
 
@@ -364,13 +354,9 @@ func (m *Model) meanFitness() float64 {
 	return sum / float64(n)
 }
 
-// finish fills the common tail of a Result.
-func (m *Model) finish(res *Result, best *core.Individual, bestFit float64, gens int, start time.Time) {
-	res.Best = best
-	res.BestFitness = bestFit
-	res.Generations = gens
-	res.Evaluations = m.totalEvaluations()
-	res.Elapsed = time.Since(start)
+// finish fills the island-specific tail of a Result (the common
+// accounting in RunStats is filled by engine.Loop).
+func (m *Model) finish(res *Result) {
 	res.PerDemeBest = make([]float64, len(m.engines))
 	for i := range m.engines {
 		res.PerDemeBest[i] = m.demePop(i).BestFitness(m.dir)
@@ -411,60 +397,131 @@ func (m *Model) RunParallel(maxGens int, trace bool) *Result {
 	return m.runParallelAsync(maxGens)
 }
 
+// syncStepper advances every deme behind a per-generation barrier.
+type syncStepper struct{ modelStepper }
+
+// Step implements engine.Stepper.
+func (s *syncStepper) Step(gen int) engine.StepInfo {
+	var wg sync.WaitGroup
+	for _, e := range s.m.engines {
+		wg.Add(1)
+		go func(e ga.Engine) {
+			defer wg.Done()
+			e.Step()
+		}(e)
+	}
+	wg.Wait()
+	return engine.StepInfo{Migrations: s.migrateDue(gen)}
+}
+
 // runParallelSync: barrier per generation, central migration.
 func (m *Model) runParallelSync(maxGens int, trace bool) *Result {
-	start := time.Now()
 	res := &Result{}
-	ta, hasTarget := m.problem.(core.TargetAware)
-	best, bestFit := m.globalBest()
-
-	gen := 0
-	var epochs int64
-	for ; gen < maxGens; gen++ {
-		var wg sync.WaitGroup
-		for _, e := range m.engines {
-			wg.Add(1)
-			go func(e ga.Engine) {
-				defer wg.Done()
-				e.Step()
-			}(e)
-		}
-		wg.Wait()
-		g := gen + 1
-		if m.cfg.Policy.Due(g) {
-			res.Migrations += m.exchange()
-			epochs++
-			m.maybeRewire(epochs)
-		}
-		nb, nf := m.globalBestRef()
-		if m.dir.Better(nf, bestFit) {
-			bestFit = nf
-			if best == nil {
-				best = nb.Clone()
-			} else {
-				best.CopyFrom(nb)
-			}
-		}
-		if trace {
-			res.Trace = append(res.Trace, core.TracePoint{Generation: g, Evaluations: m.totalEvaluations(), Best: bestFit, Mean: m.meanFitness()})
-		}
-		if hasTarget && ta.Solved(bestFit) {
-			res.Solved = true
-			res.SolvedAtEval = m.totalEvaluations()
-			res.SolvedAtGen = g
-			gen++
-			break
-		}
-	}
-	m.finish(res, best, bestFit, gen, start)
+	ta, _ := m.problem.(core.TargetAware)
+	totals := engine.Loop(&syncStepper{modelStepper{m: m}}, engine.Options{
+		Stop:        core.MaxGenerations(maxGens),
+		Target:      ta,
+		HaltOnSolve: true,
+		Trace:       trace,
+	}, &res.RunStats)
+	res.Migrations = totals.Migrations
+	m.finish(res)
 	return res
 }
 
-// runParallelAsync: free-running demes with buffered channel migration.
+// demeHalt is the per-deme stop condition of the asynchronous modes: a
+// free-running deme leaves its loop when any deme has solved or the
+// generation cap is reached.
+type demeHalt struct {
+	solved *atomic.Bool
+	max    int
+}
+
+// Done implements core.StopCondition.
+func (h demeHalt) Done(s core.Status) bool { return s.Generation >= h.max || h.solved.Load() }
+
+// Reason implements core.StopCondition.
+func (h demeHalt) Reason() string { return "max generations" }
+
+// asyncDeme is one free-running deme's engine.Stepper: evolve, check the
+// deme's own population against the target, then (when the policy is due)
+// emigrate over non-blocking channels and drain the inbox. The global
+// best is computed after the demes join, so its loop runs with SkipBest.
+type asyncDeme struct {
+	m         *Model
+	i         int
+	e         ga.Engine
+	mr        *rng.Source
+	nbrs      []int
+	inbox     []chan []*core.Individual
+	solved    *atomic.Bool
+	solvedGen *atomic.Int64
+	gens      []int
+	ta        core.TargetAware
+}
+
+// Step implements engine.Stepper.
+func (d *asyncDeme) Step(g int) engine.StepInfo {
+	var info engine.StepInfo
+	d.e.Step()
+	d.gens[d.i] = g
+	if d.ta != nil {
+		if f := d.e.Population().BestFitness(d.m.dir); d.ta.Solved(f) {
+			if d.solved.CompareAndSwap(false, true) {
+				d.solvedGen.Store(int64(g))
+			}
+			info.Halt = true
+			return info
+		}
+	}
+	p := d.m.cfg.Policy
+	if p.Due(g) {
+		// Emigrate: non-blocking send of a fresh clone batch per link.
+		if len(d.nbrs) > 0 {
+			out := p.Select.Pick(d.e.Population(), d.m.dir, p.Count, d.mr)
+			for _, nbr := range d.nbrs {
+				batch := make([]*core.Individual, len(out))
+				for k, ind := range out {
+					batch[k] = ind.Clone()
+				}
+				select {
+				case d.inbox[nbr] <- batch:
+					info.Migrations++
+				default:
+					// Receiver's buffer full: drop, never block
+					// evolution (bounded-staleness async model).
+				}
+			}
+		}
+		// Immigrate: drain whatever has arrived.
+	drain:
+		for {
+			select {
+			case batch := <-d.inbox[d.i]:
+				p.Replace.Integrate(d.e.Population(), d.m.dir, batch, d.mr)
+			default:
+				break drain
+			}
+		}
+	}
+	return info
+}
+
+// Best implements engine.Stepper (unused: the deme loops run SkipBest).
+func (d *asyncDeme) Best() (*core.Individual, float64) { return nil, d.m.dir.Worst() }
+
+// Evaluations implements engine.Stepper.
+func (d *asyncDeme) Evaluations() int64 { return d.e.Evaluations() }
+
+// Direction implements engine.Stepper.
+func (d *asyncDeme) Direction() core.Direction { return d.m.dir }
+
+// runParallelAsync: free-running demes with buffered channel migration,
+// one engine.Loop per deme goroutine.
 func (m *Model) runParallelAsync(maxGens int) *Result {
 	start := time.Now()
 	res := &Result{}
-	ta, hasTarget := m.problem.(core.TargetAware)
+	ta, _ := m.problem.(core.TargetAware)
 	p := m.cfg.Policy
 	n := len(m.engines)
 
@@ -474,67 +531,42 @@ func (m *Model) runParallelAsync(maxGens int) *Result {
 	}
 	var solved atomic.Bool
 	var solvedGen atomic.Int64
-	var migrations atomic.Int64
 	gens := make([]int, n)
+	totals := make([]engine.Totals, n)
 
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e := m.engines[i]
-			mr := m.migRNGs[i]
-			nbrs := m.cfg.Topology.Neighbors(i)
-			for g := 1; g <= maxGens; g++ {
-				if solved.Load() {
-					return
-				}
-				e.Step()
-				gens[i] = g
-				if hasTarget {
-					if f := e.Population().BestFitness(m.dir); ta.Solved(f) {
-						if solved.CompareAndSwap(false, true) {
-							solvedGen.Store(int64(g))
-						}
-						return
-					}
-				}
-				if p.Due(g) {
-					// Emigrate: non-blocking send of a fresh clone batch per link.
-					if len(nbrs) > 0 {
-						out := p.Select.Pick(e.Population(), m.dir, p.Count, mr)
-						for _, nbr := range nbrs {
-							batch := make([]*core.Individual, len(out))
-							for k, ind := range out {
-								batch[k] = ind.Clone()
-							}
-							select {
-							case inbox[nbr] <- batch:
-								migrations.Add(1)
-							default:
-								// Receiver's buffer full: drop, never block
-								// evolution (bounded-staleness async model).
-							}
-						}
-					}
-					// Immigrate: drain whatever has arrived.
-				drain:
-					for {
-						select {
-						case batch := <-inbox[i]:
-							p.Replace.Integrate(e.Population(), m.dir, batch, mr)
-						default:
-							break drain
-						}
-					}
-				}
+			d := &asyncDeme{
+				m: m, i: i, e: m.engines[i], mr: m.migRNGs[i],
+				nbrs: m.cfg.Topology.Neighbors(i), inbox: inbox,
+				solved: &solved, solvedGen: &solvedGen, gens: gens, ta: ta,
 			}
+			var stats core.RunStats
+			totals[i] = engine.Loop(d, engine.Options{
+				Stop:     demeHalt{solved: &solved, max: maxGens},
+				SkipBest: true,
+			}, &stats)
 		}(i)
 	}
 	wg.Wait()
 
-	best, bestFit := m.globalBest()
-	res.Migrations = migrations.Load()
+	m.finishAsync(res, totals, gens, &solved, &solvedGen)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// finishAsync fills a Result after the deme goroutines of an asynchronous
+// run have joined: global best, migration totals, solve point and the
+// maximum per-deme generation.
+func (m *Model) finishAsync(res *Result, totals []engine.Totals, gens []int, solved *atomic.Bool, solvedGen *atomic.Int64) {
+	res.Best, res.BestFitness = m.globalBest()
+	for _, t := range totals {
+		res.Migrations += t.Migrations
+	}
+	res.StopReason = "max generations"
 	if solved.Load() {
 		res.Solved = true
 		// In async mode evaluation counters cannot be snapshotted at the
@@ -542,13 +574,13 @@ func (m *Model) runParallelAsync(maxGens int) *Result {
 		// total is a slight overcount and is documented as such.
 		res.SolvedAtEval = m.totalEvaluations()
 		res.SolvedAtGen = int(solvedGen.Load())
+		res.StopReason = "target reached"
 	}
-	maxGen := 0
 	for _, g := range gens {
-		if g > maxGen {
-			maxGen = g
+		if g > res.Generations {
+			res.Generations = g
 		}
 	}
-	m.finish(res, best, bestFit, maxGen, start)
-	return res
+	res.Evaluations = m.totalEvaluations()
+	m.finish(res)
 }

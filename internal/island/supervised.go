@@ -6,18 +6,23 @@ import (
 	"time"
 
 	"pga/internal/core"
+	"pga/internal/engine"
 	"pga/internal/ga"
+	"pga/internal/rng"
 	"pga/internal/supervise"
 )
 
 // This file holds the supervised variants of RunParallel — the runtime
-// behind Config.Resilience. They mirror runParallelSync/runParallelAsync
-// but route every deme step through a supervise.Supervisor: panics are
-// recovered into restarts from checkpoint, hung steps are abandoned on a
-// heartbeat deadline, and demes that exhaust their restart budget are
-// declared dead, frozen at their last checkpoint and routed around by a
-// healed topology (Gagné et al.'s transparency/robustness/adaptivity at
-// the island level; survey §4).
+// behind Config.Resilience. They run the same engine.Loop driver as the
+// unsupervised modes but route every deme step through a
+// supervise.Supervisor: panics are recovered into restarts from
+// checkpoint, hung steps are abandoned on a heartbeat deadline, and demes
+// that exhaust their restart budget are declared dead, frozen at their
+// last checkpoint and routed around by a healed topology (Gagné et al.'s
+// transparency/robustness/adaptivity at the island level; survey §4).
+// Checkpoint capture itself rides the loop's OnGeneration observer hook —
+// including the generation-0 hook, which is what checkpoints every deme
+// before the first step.
 
 // failureKind maps a step outcome to its failure class.
 func failureKind(out supervise.StepOutcome) supervise.FailureKind {
@@ -36,91 +41,124 @@ func (m *Model) retireDeme(i int, frozen *core.Population) {
 	m.deadPops[i] = frozen
 }
 
-// runParallelSyncSupervised: barrier per generation, central migration,
-// every step supervised. Failed demes retry the *current* generation
-// after restoring their checkpoint (the barrier cannot roll the other
-// demes back), so a transient fault costs one deme its progress since the
-// last checkpoint and nobody else anything.
+// allDead stops a supervised synchronous run when every deme has
+// exhausted its restart budget.
+type allDead struct{ router *supervise.Router }
+
+// Done implements core.StopCondition.
+func (a allDead) Done(core.Status) bool { return a.router.AliveCount() == 0 }
+
+// Reason implements core.StopCondition.
+func (a allDead) Reason() string { return "all demes dead" }
+
+// syncCheckpointer is the OnGeneration observer of the supervised
+// synchronous mode: on every checkpoint-due generation (including
+// generation 0) it snapshots every live deme.
+type syncCheckpointer struct {
+	m      *Model
+	sup    *supervise.Supervisor
+	router *supervise.Router
+}
+
+// OnGeneration implements engine.Observer.
+func (c *syncCheckpointer) OnGeneration(s core.Status) {
+	if !c.sup.CheckpointDue(s.Generation) {
+		return
+	}
+	for i := range c.m.engines {
+		if s.Generation == 0 || c.router.Alive(i) {
+			_ = c.sup.Checkpoint(i, c.m.engines[i].Population(), s.Generation, c.m.engines[i].Evaluations())
+		}
+	}
+}
+
+// OnMigration implements engine.Observer.
+func (c *syncCheckpointer) OnMigration(int, int64) {}
+
+// OnRestart implements engine.Observer.
+func (c *syncCheckpointer) OnRestart(int, int64) {}
+
+// OnDone implements engine.Observer.
+func (c *syncCheckpointer) OnDone(*core.RunStats) {}
+
+// supSyncStepper advances live demes behind a barrier with every step
+// supervised. Failed demes retry the *current* generation after restoring
+// their checkpoint (the barrier cannot roll the other demes back), so a
+// transient fault costs one deme its progress since the last checkpoint
+// and nobody else anything.
+type supSyncStepper struct {
+	modelStepper
+	sup      *supervise.Supervisor
+	router   *supervise.Router
+	outcomes []supervise.StepOutcome
+}
+
+// Step implements engine.Stepper.
+func (s *supSyncStepper) Step(g int) engine.StepInfo {
+	m := s.m
+	var info engine.StepInfo
+	var wg sync.WaitGroup
+	for i := range m.engines {
+		if !s.router.Alive(i) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, e ga.Engine) {
+			defer wg.Done()
+			s.outcomes[i] = s.sup.RunStep(i, g, e)
+		}(i, m.engines[i])
+	}
+	wg.Wait()
+
+	// Serial recovery pass, deme order: restore-and-retry the failed
+	// generation until it completes or the deme's budget runs out.
+	for i := range m.engines {
+		if !s.router.Alive(i) {
+			continue
+		}
+		for s.outcomes[i].Status != supervise.StepOK {
+			eng, frozen, ok := s.sup.Restart(i, g, failureKind(s.outcomes[i]), s.outcomes[i].Err)
+			if !ok {
+				m.retireDeme(i, frozen)
+				break
+			}
+			info.Restarts++
+			m.engines[i] = eng
+			s.outcomes[i] = s.sup.RunStep(i, g, eng)
+		}
+	}
+
+	if m.cfg.Policy.Due(g) {
+		info.Migrations = m.exchangeOn(s.router)
+		s.epochs++
+		if m.maybeRewire(s.epochs) {
+			s.router.Refresh()
+		}
+	}
+	return info
+}
+
+// runParallelSyncSupervised: barrier per generation, central migration
+// over the healed topology, checkpoints via the observer hook.
 func (m *Model) runParallelSyncSupervised(maxGens int, trace bool, sup *supervise.Supervisor) *Result {
-	start := time.Now()
 	res := &Result{}
-	ta, hasTarget := m.problem.(core.TargetAware)
+	ta, _ := m.problem.(core.TargetAware)
 	router := sup.Router()
-	n := len(m.engines)
-
-	// Generation-0 checkpoint: every deme can be restored from the
-	// moment the run starts.
-	for i := 0; i < n; i++ {
-		_ = sup.Checkpoint(i, m.engines[i].Population(), 0, m.engines[i].Evaluations())
+	st := &supSyncStepper{
+		modelStepper: modelStepper{m: m},
+		sup:          sup,
+		router:       router,
+		outcomes:     make([]supervise.StepOutcome, len(m.engines)),
 	}
-
-	best, bestFit := m.globalBest()
-	gen := 0
-	var epochs int64
-	outcomes := make([]supervise.StepOutcome, n)
-	for ; gen < maxGens && router.AliveCount() > 0; gen++ {
-		g := gen + 1
-		var wg sync.WaitGroup
-		for i := 0; i < n; i++ {
-			if !router.Alive(i) {
-				continue
-			}
-			wg.Add(1)
-			go func(i int, e ga.Engine) {
-				defer wg.Done()
-				outcomes[i] = sup.RunStep(i, g, e)
-			}(i, m.engines[i])
-		}
-		wg.Wait()
-
-		// Serial recovery pass, deme order: restore-and-retry the failed
-		// generation until it completes or the deme's budget runs out.
-		for i := 0; i < n; i++ {
-			if !router.Alive(i) {
-				continue
-			}
-			for outcomes[i].Status != supervise.StepOK {
-				eng, frozen, ok := sup.Restart(i, g, failureKind(outcomes[i]), outcomes[i].Err)
-				if !ok {
-					m.retireDeme(i, frozen)
-					break
-				}
-				m.engines[i] = eng
-				outcomes[i] = sup.RunStep(i, g, eng)
-			}
-		}
-
-		if m.cfg.Policy.Due(g) {
-			res.Migrations += m.exchangeOn(router)
-			epochs++
-			if m.maybeRewire(epochs) {
-				router.Refresh()
-			}
-		}
-		if sup.CheckpointDue(g) {
-			for i := 0; i < n; i++ {
-				if router.Alive(i) {
-					_ = sup.Checkpoint(i, m.engines[i].Population(), g, m.engines[i].Evaluations())
-				}
-			}
-		}
-
-		nb, nf := m.globalBest()
-		if m.dir.Better(nf, bestFit) {
-			best, bestFit = nb, nf
-		}
-		if trace {
-			res.Trace = append(res.Trace, core.TracePoint{Generation: g, Evaluations: m.totalEvaluations(), Best: bestFit, Mean: m.meanFitness()})
-		}
-		if hasTarget && ta.Solved(bestFit) {
-			res.Solved = true
-			res.SolvedAtEval = m.totalEvaluations()
-			res.SolvedAtGen = g
-			gen++
-			break
-		}
-	}
-	m.finish(res, best, bestFit, gen, start)
+	totals := engine.Loop(st, engine.Options{
+		Stop:        core.AnyOf{core.MaxGenerations(maxGens), allDead{router: router}},
+		Target:      ta,
+		HaltOnSolve: true,
+		Trace:       trace,
+		Observers:   []engine.Observer{&syncCheckpointer{m: m, sup: sup, router: router}},
+	}, &res.RunStats)
+	res.Migrations = totals.Migrations
+	m.finish(res)
 	return res
 }
 
@@ -131,17 +169,156 @@ type pendingBatch struct {
 	attempts int
 }
 
-// runParallelAsyncSupervised: free-running supervised demes. Each worker
-// goroutine is its own supervisor loop — a failed step restores the
-// deme's checkpoint and resumes from the checkpointed generation
-// (re-doing the lost work), and a dead deme simply leaves the loop while
-// the survivors route around it. Undeliverable migrant batches are
-// retried on later epochs and dead-lettered after their retry budget
-// instead of being dropped silently.
+// supAsyncDeme is one supervised free-running deme's engine.Stepper: a
+// failed step restores the deme's checkpoint and rewinds the loop to the
+// checkpointed generation (re-doing the lost work), and a dead deme halts
+// its loop while the survivors route around it. Undeliverable migrant
+// batches are retried on later epochs and dead-lettered after their retry
+// budget instead of being dropped silently.
+type supAsyncDeme struct {
+	m          *Model
+	i          int
+	e          ga.Engine
+	mr         *rng.Source
+	inbox      []chan []*core.Individual
+	sup        *supervise.Supervisor
+	router     *supervise.Router
+	maxRetries int
+	pending    []pendingBatch
+	solved     *atomic.Bool
+	solvedGen  *atomic.Int64
+	gens       []int
+	ta         core.TargetAware
+	delivered  int64
+}
+
+// deliver attempts one non-blocking send, dead-lettering batches whose
+// receiver died or whose retries ran out.
+func (d *supAsyncDeme) deliver(pb pendingBatch) {
+	if !d.router.Alive(pb.dest) {
+		d.sup.DeadLetter(1)
+		return
+	}
+	select {
+	case d.inbox[pb.dest] <- pb.batch:
+		d.delivered++
+	default:
+		if pb.attempts >= d.maxRetries {
+			d.sup.DeadLetter(1)
+		} else {
+			pb.attempts++
+			d.pending = append(d.pending, pb)
+		}
+	}
+}
+
+// Step implements engine.Stepper.
+func (d *supAsyncDeme) Step(g int) engine.StepInfo {
+	var info engine.StepInfo
+	out := d.sup.RunStep(d.i, g, d.e)
+	if out.Status != supervise.StepOK {
+		eng, frozen, ok := d.sup.Restart(d.i, g, failureKind(out), out.Err)
+		if !ok {
+			d.m.retireDeme(d.i, frozen)
+			info.Rewound, info.ResumeAt = true, g-1
+			info.Halt = true
+			return info
+		}
+		d.e = eng
+		d.m.engines[d.i] = eng
+		info.Restarts = 1
+		info.Rewound, info.ResumeAt = true, d.sup.ResumeGen(d.i)
+		return info
+	}
+	d.gens[d.i] = g
+	if d.ta != nil {
+		if f := d.e.Population().BestFitness(d.m.dir); d.ta.Solved(f) {
+			if d.solved.CompareAndSwap(false, true) {
+				d.solvedGen.Store(int64(g))
+			}
+			info.Halt = true
+			return info
+		}
+	}
+	p := d.m.cfg.Policy
+	if p.Due(g) {
+		// Retry queued batches first (oldest first), then emigrate fresh
+		// clones over the healed topology.
+		queued := d.pending
+		d.pending = d.pending[len(d.pending):]
+		before := d.delivered
+		for _, pb := range queued {
+			d.deliver(pb)
+		}
+		nbrs := d.router.Neighbors(d.i)
+		if len(nbrs) > 0 {
+			out := p.Select.Pick(d.e.Population(), d.m.dir, p.Count, d.mr)
+			for _, nbr := range nbrs {
+				batch := make([]*core.Individual, len(out))
+				for k, ind := range out {
+					batch[k] = ind.Clone()
+				}
+				d.deliver(pendingBatch{dest: nbr, batch: batch, attempts: 1})
+			}
+		}
+		info.Migrations = d.delivered - before
+		// Immigrate: drain whatever has arrived.
+	drain:
+		for {
+			select {
+			case batch := <-d.inbox[d.i]:
+				p.Replace.Integrate(d.e.Population(), d.m.dir, batch, d.mr)
+			default:
+				break drain
+			}
+		}
+	}
+	return info
+}
+
+// Best implements engine.Stepper (unused: the deme loops run SkipBest).
+func (d *supAsyncDeme) Best() (*core.Individual, float64) { return nil, d.m.dir.Worst() }
+
+// Evaluations implements engine.Stepper.
+func (d *supAsyncDeme) Evaluations() int64 { return d.e.Evaluations() }
+
+// Direction implements engine.Stepper.
+func (d *supAsyncDeme) Direction() core.Direction { return d.m.dir }
+
+// OnGeneration implements engine.Observer: the deme checkpoints itself on
+// every checkpoint-due generation, including generation 0 before the
+// first step (rewound restart iterations never reach this hook, so a
+// restart does not re-checkpoint the restored state).
+func (d *supAsyncDeme) OnGeneration(s core.Status) {
+	if d.sup.CheckpointDue(s.Generation) {
+		_ = d.sup.Checkpoint(d.i, d.e.Population(), s.Generation, d.e.Evaluations())
+	}
+}
+
+// OnMigration implements engine.Observer.
+func (d *supAsyncDeme) OnMigration(int, int64) {}
+
+// OnRestart implements engine.Observer.
+func (d *supAsyncDeme) OnRestart(int, int64) {}
+
+// OnDone implements engine.Observer: batches still pending when the
+// worker exits — run over, deme solved, or deme dead — are lost traffic:
+// dead-letter them so the counters account for every batch that never
+// arrived.
+func (d *supAsyncDeme) OnDone(*core.RunStats) {
+	for range d.pending {
+		d.sup.DeadLetter(1)
+	}
+	d.pending = nil
+}
+
+// runParallelAsyncSupervised: free-running supervised demes, one
+// engine.Loop per deme goroutine with the deme itself as the
+// checkpoint/dead-letter observer.
 func (m *Model) runParallelAsyncSupervised(maxGens int, sup *supervise.Supervisor) *Result {
 	start := time.Now()
 	res := &Result{}
-	ta, hasTarget := m.problem.(core.TargetAware)
+	ta, _ := m.problem.(core.TargetAware)
 	p := m.cfg.Policy
 	n := len(m.engines)
 	router := sup.Router()
@@ -153,127 +330,30 @@ func (m *Model) runParallelAsyncSupervised(maxGens int, sup *supervise.Superviso
 	}
 	var solved atomic.Bool
 	var solvedGen atomic.Int64
-	var migrations atomic.Int64
 	gens := make([]int, n)
+	totals := make([]engine.Totals, n)
 
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e := m.engines[i]
-			mr := m.migRNGs[i]
-			_ = sup.Checkpoint(i, e.Population(), 0, e.Evaluations())
-
-			var pending []pendingBatch
-			// Batches still pending when the worker exits — run over,
-			// deme solved, or deme dead — are lost traffic: dead-letter
-			// them so the counters account for every batch that never
-			// arrived.
-			defer func() {
-				for range pending {
-					sup.DeadLetter(1)
-				}
-			}()
-			// deliver attempts one non-blocking send, dead-lettering
-			// batches whose receiver died or whose retries ran out.
-			deliver := func(pb pendingBatch) {
-				if !router.Alive(pb.dest) {
-					sup.DeadLetter(1)
-					return
-				}
-				select {
-				case inbox[pb.dest] <- pb.batch:
-					migrations.Add(1)
-				default:
-					if pb.attempts >= maxRetries {
-						sup.DeadLetter(1)
-					} else {
-						pb.attempts++
-						pending = append(pending, pb)
-					}
-				}
+			d := &supAsyncDeme{
+				m: m, i: i, e: m.engines[i], mr: m.migRNGs[i],
+				inbox: inbox, sup: sup, router: router, maxRetries: maxRetries,
+				solved: &solved, solvedGen: &solvedGen, gens: gens, ta: ta,
 			}
-
-			for g := 1; g <= maxGens; g++ {
-				if solved.Load() {
-					return
-				}
-				out := sup.RunStep(i, g, e)
-				if out.Status != supervise.StepOK {
-					eng, frozen, ok := sup.Restart(i, g, failureKind(out), out.Err)
-					if !ok {
-						m.retireDeme(i, frozen)
-						return
-					}
-					resume := sup.ResumeGen(i)
-					e = eng
-					m.engines[i] = eng
-					g = resume // loop increment resumes at resume+1
-					continue
-				}
-				gens[i] = g
-				if hasTarget {
-					if f := e.Population().BestFitness(m.dir); ta.Solved(f) {
-						if solved.CompareAndSwap(false, true) {
-							solvedGen.Store(int64(g))
-						}
-						return
-					}
-				}
-				if p.Due(g) {
-					// Retry queued batches first (oldest first), then
-					// emigrate fresh clones over the healed topology.
-					queued := pending
-					pending = pending[len(pending):]
-					for _, pb := range queued {
-						deliver(pb)
-					}
-					nbrs := router.Neighbors(i)
-					if len(nbrs) > 0 {
-						out := p.Select.Pick(e.Population(), m.dir, p.Count, mr)
-						for _, nbr := range nbrs {
-							batch := make([]*core.Individual, len(out))
-							for k, ind := range out {
-								batch[k] = ind.Clone()
-							}
-							deliver(pendingBatch{dest: nbr, batch: batch, attempts: 1})
-						}
-					}
-					// Immigrate: drain whatever has arrived.
-				drain:
-					for {
-						select {
-						case batch := <-inbox[i]:
-							p.Replace.Integrate(e.Population(), m.dir, batch, mr)
-						default:
-							break drain
-						}
-					}
-				}
-				if sup.CheckpointDue(g) {
-					_ = sup.Checkpoint(i, e.Population(), g, e.Evaluations())
-				}
-			}
+			var stats core.RunStats
+			totals[i] = engine.Loop(d, engine.Options{
+				Stop:      demeHalt{solved: &solved, max: maxGens},
+				SkipBest:  true,
+				Observers: []engine.Observer{d},
+			}, &stats)
 		}(i)
 	}
 	wg.Wait()
 
-	best, bestFit := m.globalBest()
-	res.Migrations = migrations.Load()
-	if solved.Load() {
-		res.Solved = true
-		// As in the unsupervised async mode, the post-stop evaluation
-		// total slightly overcounts the instant of solving.
-		res.SolvedAtEval = m.totalEvaluations()
-		res.SolvedAtGen = int(solvedGen.Load())
-	}
-	maxGen := 0
-	for _, g := range gens {
-		if g > maxGen {
-			maxGen = g
-		}
-	}
-	m.finish(res, best, bestFit, maxGen, start)
+	m.finishAsync(res, totals, gens, &solved, &solvedGen)
+	res.Elapsed = time.Since(start)
 	return res
 }

@@ -14,9 +14,8 @@
 package p2p
 
 import (
-	"time"
-
 	"pga/internal/core"
+	"pga/internal/engine"
 	"pga/internal/ga"
 	"pga/internal/rng"
 )
@@ -48,25 +47,19 @@ type Config struct {
 	Seed uint64
 }
 
-// Result summarises an overlay run.
+// Result summarises an overlay run. The embedded core.RunStats holds the
+// accounting common to every runtime; BestFitness is the best fitness
+// seen across all peers and time (peers churn away, so the historical
+// best can exceed every live population's), and Evaluations counts all
+// peers including departed ones.
 type Result struct {
-	// BestFitness is the best fitness seen across all peers and time.
-	BestFitness float64
-	// Solved reports whether the problem's optimum was reached.
-	Solved bool
-	// SolvedAtGen is the generation of first solving (0 if not solved).
-	SolvedAtGen int
-	// Evaluations is the total evaluations across peers (including
-	// departed ones).
-	Evaluations int64
+	core.RunStats
 	// Departures and Joins count churn events.
 	Departures, Joins int
 	// Messages counts migrant transfers.
 	Messages int
 	// AliveAtEnd is the number of alive peers at the end.
 	AliveAtEnd int
-	// Elapsed is the wall-clock duration.
-	Elapsed time.Duration
 }
 
 // peer is one overlay node.
@@ -150,67 +143,90 @@ func (n *Network) aliveCount() int {
 	return c
 }
 
+// netStepper is the overlay's engine.Stepper: one generation is
+// evolution on every alive peer, churn, then (on gossip epochs) view
+// exchange and migration. Best() scans the alive peers, so the loop's
+// monotone tracking is what preserves the historical best across churn.
+type netStepper struct {
+	n   *Network
+	res *Result
+}
+
+// Step implements engine.Stepper.
+func (s *netStepper) Step(gen int) engine.StepInfo {
+	n := s.n
+	var info engine.StepInfo
+	// 1. Evolution.
+	for _, p := range n.peers {
+		if p.alive {
+			p.engine.Step()
+		}
+	}
+	// 2. Churn: departures then rejoins, respecting the floor.
+	if n.cfg.ChurnRate > 0 {
+		for _, p := range n.peers {
+			if p.alive && n.aliveCount() > n.cfg.MinPeers && n.rng.Chance(n.cfg.ChurnRate) {
+				p.alive = false
+				p.retiredEvals += p.engine.Evaluations()
+				s.res.Departures++
+			}
+		}
+		for i, p := range n.peers {
+			if !p.alive && n.rng.Chance(n.cfg.RejoinRate) {
+				pr := p.rng.Split()
+				p.engine = n.cfg.NewEngine(i, pr)
+				p.alive = true
+				p.view = n.randomView(i)
+				s.res.Joins++
+			}
+		}
+	}
+	// 3. Gossip + migration epoch.
+	if gen%n.cfg.GossipEvery == 0 {
+		n.gossip()
+		sent := n.migrate()
+		s.res.Messages += sent
+		info.Migrations = int64(sent)
+	}
+	return info
+}
+
+// Best implements engine.Stepper: the best individual over alive peers.
+func (s *netStepper) Best() (*core.Individual, float64) {
+	n := s.n
+	bestFit := n.dir.Worst()
+	var best *core.Individual
+	for _, p := range n.peers {
+		if !p.alive {
+			continue
+		}
+		pop := p.engine.Population()
+		if j := pop.Best(n.dir); j >= 0 && n.dir.Better(pop.Members[j].Fitness, bestFit) {
+			bestFit = pop.Members[j].Fitness
+			best = pop.Members[j]
+		}
+	}
+	return best, bestFit
+}
+
+// Evaluations implements engine.Stepper.
+func (s *netStepper) Evaluations() int64 { return s.n.totalEvaluations() }
+
+// Direction implements engine.Stepper.
+func (s *netStepper) Direction() core.Direction { return s.n.dir }
+
 // Run executes maxGens generations of the overlay and returns the result.
 // The simulation is fully deterministic for a given Config.
 func (n *Network) Run(maxGens int) *Result {
-	start := time.Now()
-	res := &Result{BestFitness: n.dir.Worst()}
-	ta, hasTarget := n.cfg.Problem.(core.TargetAware)
-
-	observe := func(gen int) {
-		for _, p := range n.peers {
-			if !p.alive {
-				continue
-			}
-			if f := p.engine.Population().BestFitness(n.dir); n.dir.Better(f, res.BestFitness) {
-				res.BestFitness = f
-				if hasTarget && !res.Solved && ta.Solved(f) {
-					res.Solved = true
-					res.SolvedAtGen = gen
-				}
-			}
-		}
-	}
-	observe(0)
-
-	for gen := 1; gen <= maxGens && !res.Solved; gen++ {
-		// 1. Evolution.
-		for _, p := range n.peers {
-			if p.alive {
-				p.engine.Step()
-			}
-		}
-		// 2. Churn: departures then rejoins, respecting the floor.
-		if n.cfg.ChurnRate > 0 {
-			for i, p := range n.peers {
-				if p.alive && n.aliveCount() > n.cfg.MinPeers && n.rng.Chance(n.cfg.ChurnRate) {
-					p.alive = false
-					p.retiredEvals += p.engine.Evaluations()
-					res.Departures++
-					_ = i
-				}
-			}
-			for i, p := range n.peers {
-				if !p.alive && n.rng.Chance(n.cfg.RejoinRate) {
-					pr := p.rng.Split()
-					p.engine = n.cfg.NewEngine(i, pr)
-					p.alive = true
-					p.view = n.randomView(i)
-					res.Joins++
-				}
-			}
-		}
-		// 3. Gossip + migration epoch.
-		if gen%n.cfg.GossipEvery == 0 {
-			n.gossip()
-			res.Messages += n.migrate()
-		}
-		observe(gen)
-	}
-
-	res.Evaluations = n.totalEvaluations()
+	res := &Result{}
+	ta, _ := n.cfg.Problem.(core.TargetAware)
+	engine.Loop(&netStepper{n: n, res: res}, engine.Options{
+		Stop:         core.MaxGenerations(maxGens),
+		Target:       ta,
+		HaltOnSolve:  true,
+		InitialSolve: true,
+	}, &res.RunStats)
 	res.AliveAtEnd = n.aliveCount()
-	res.Elapsed = time.Since(start)
 	return res
 }
 

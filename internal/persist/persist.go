@@ -7,6 +7,11 @@
 // A checkpoint is exact: restoring a population plus its engine's RNG
 // state and continuing produces bit-identical results to the
 // uninterrupted run (asserted by the package tests).
+//
+// Capture points are driven by the shared run loop: supervised island
+// runs snapshot demes from an engine.Observer's OnGeneration hook
+// (generation 0 included), so checkpoint cadence is a property of the
+// loop, not of any one model's code.
 package persist
 
 import (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pga/internal/core"
+	"pga/internal/engine"
 	"pga/internal/ga"
 	"pga/internal/genome"
 	"pga/internal/operators"
@@ -115,8 +116,14 @@ type Config struct {
 	Seed uint64
 }
 
-// Result summarises a SIM run.
+// Result summarises a SIM run. The embedded core.RunStats holds the
+// accounting common to every runtime; BestFitness is the best
+// scalarised fitness across sub-EAs, each member scored under its own
+// island's objective weights (the archive, not BestFitness, is the
+// multi-objective quality measure — see DESIGN §9), and one evaluation
+// is one Objectives() call (scalarisation is free).
 type Result struct {
+	core.RunStats
 	// Scenario that produced the result.
 	Scenario Scenario
 	// Archive is the final non-dominated set.
@@ -124,8 +131,6 @@ type Result struct {
 	// Hypervolume is the 2-D hypervolume of the archive (bi-objective
 	// problems; 0 otherwise), reference point (1.1, 1.1)·scale.
 	Hypervolume float64
-	// Evaluations counts objective evaluations.
-	Evaluations int64
 	// Islands is the number of sub-EAs used.
 	Islands int
 }
@@ -259,21 +264,18 @@ func Run(cfg Config) *Result {
 		})
 	}
 
-	for g := 1; g <= cfg.Generations; g++ {
-		for _, e := range engines {
-			e.Step()
-		}
-		if g%cfg.MigrationInterval == 0 {
-			migrate(engines, scalars, specs, migRNG, &evals)
-		}
-	}
-
 	res := &Result{
-		Scenario:    cfg.Scenario,
-		Archive:     archive,
-		Evaluations: evals,
-		Islands:     len(specs),
+		Scenario: cfg.Scenario,
+		Archive:  archive,
+		Islands:  len(specs),
 	}
+	st := &scenarioStepper{
+		engines: engines, scalars: scalars, specs: specs,
+		migRNG: migRNG, evals: &evals, interval: cfg.MigrationInterval,
+	}
+	engine.Loop(st, engine.Options{
+		Stop: core.MaxGenerations(cfg.Generations),
+	}, &res.RunStats)
 	if nObj == 2 {
 		pts := make([][]float64, 0, archive.Len())
 		for _, it := range archive.Items() {
@@ -283,6 +285,50 @@ func Run(cfg Config) *Result {
 	}
 	return res
 }
+
+// scenarioStepper is the SIM runtime's engine.Stepper: one generation
+// steps every sub-EA, then migrates on schedule. Best() is the best
+// scalarised fitness across islands, each member scored under its own
+// island's weights.
+type scenarioStepper struct {
+	engines  []ga.Engine
+	scalars  []*scalarProblem
+	specs    []islandSpec
+	migRNG   *rng.Source
+	evals    *int64
+	interval int
+}
+
+// Step implements engine.Stepper.
+func (s *scenarioStepper) Step(gen int) engine.StepInfo {
+	for _, e := range s.engines {
+		e.Step()
+	}
+	if gen%s.interval == 0 {
+		migrate(s.engines, s.scalars, s.specs, s.migRNG, s.evals)
+	}
+	return engine.StepInfo{}
+}
+
+// Best implements engine.Stepper.
+func (s *scenarioStepper) Best() (*core.Individual, float64) {
+	bestFit := core.Minimize.Worst()
+	var best *core.Individual
+	for _, e := range s.engines {
+		pop := e.Population()
+		if b := pop.Best(core.Minimize); b >= 0 && core.Minimize.Better(pop.Members[b].Fitness, bestFit) {
+			bestFit = pop.Members[b].Fitness
+			best = pop.Members[b]
+		}
+	}
+	return best, bestFit
+}
+
+// Evaluations implements engine.Stepper.
+func (s *scenarioStepper) Evaluations() int64 { return *s.evals }
+
+// Direction implements engine.Stepper.
+func (s *scenarioStepper) Direction() core.Direction { return core.Minimize }
 
 // migrate sends each island's best to its neighbours; the migrant is
 // re-evaluated under the receiver's objective weights (the defining SIM

@@ -22,6 +22,12 @@
 // forward progress. Work a deme performed after its last checkpoint is
 // lost and excluded from evaluation totals.
 //
+// Wiring. Supervision hangs off the shared run loop (internal/engine):
+// the island steppers call RunStep/Restart per generation, checkpoints
+// are taken from an engine.Observer's OnGeneration hook, a rewound
+// restart is reported to the loop through StepInfo.Rewound/ResumeAt, and
+// async dead-letter draining rides the OnDone hook.
+//
 // Everything is testable deterministically: FaultPlan scripts panics and
 // hangs at exact (deme, generation) coordinates, so the package's own
 // tests and experiment E15 run the same seeded workload with and without

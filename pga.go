@@ -55,6 +55,7 @@ package pga
 import (
 	"pga/internal/cellular"
 	"pga/internal/core"
+	"pga/internal/engine"
 	"pga/internal/ga"
 	"pga/internal/genome"
 	"pga/internal/hga"
@@ -85,6 +86,10 @@ type (
 	Direction = core.Direction
 	// Result summarises a sequential run.
 	Result = core.Result
+	// RunStats is the accounting block shared by every runtime's result:
+	// all Result types (Result, IslandResult, HGAResult, SIMResult,
+	// P2PResult) embed it, so the common fields read uniformly.
+	RunStats = core.RunStats
 	// Status is the per-step snapshot passed to stop conditions.
 	Status = core.Status
 	// StopCondition terminates runs.
@@ -219,6 +224,13 @@ type (
 	GAConfig = ga.Config
 	// RunOptions tunes Run.
 	RunOptions = ga.RunOptions
+	// Observer receives ordered lifecycle hooks from the shared run loop
+	// (OnGeneration, OnMigration, OnRestart, OnDone); pass implementations
+	// through RunOptions.Observers.
+	Observer = engine.Observer
+	// ObserverFuncs adapts optional functions to Observer; nil fields are
+	// no-ops.
+	ObserverFuncs = engine.Funcs
 )
 
 // NewGenerational returns a generational GA engine. If cfg.RNG is nil a
