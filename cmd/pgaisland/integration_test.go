@@ -1,0 +1,207 @@
+package main
+
+// Multi-process integration test: four pgaisland processes over
+// loopback TCP form a ring, one island runs deterministic fault
+// injection, and one island is SIGKILLed mid-run and restarted. The
+// surviving islands must keep evolving through the outage (graceful
+// degradation), reconnect to the restarted process (rejoin), and the
+// final accounting must show the losses: non-zero dead-lettered
+// batches and at least one reconnect.
+//
+// Island stderr logs are written to $PGA_ISLAND_LOG_DIR when set (the
+// CI job uploads them as artifacts on failure), else to t.TempDir().
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// islandResult mirrors the result JSON contract printed by main.
+type islandResult struct {
+	Self         int     `json:"self"`
+	Best         float64 `json:"best"`
+	Solved       bool    `json:"solved"`
+	Generations  int     `json:"generations"`
+	Migrations   int64   `json:"migrations"`
+	DeadLettered int64   `json:"dead_lettered"`
+	Restarts     int64   `json:"restarts"`
+	Net          struct {
+		Sent, Delivered, Received, Dropped, Reconnects, PeerDowns int64
+	} `json:"net"`
+	StopReason string `json:"stop_reason"`
+}
+
+// buildIsland compiles the pgaisland binary into dir.
+func buildIsland(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "pgaisland")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build pgaisland: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePorts reserves n distinct loopback ports and releases them.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// logDir returns the island-log directory (CI artifact dir when set).
+func logDir(t *testing.T) string {
+	if d := os.Getenv("PGA_ISLAND_LOG_DIR"); d != "" {
+		if err := os.MkdirAll(d, 0o755); err == nil {
+			return d
+		}
+	}
+	return t.TempDir()
+}
+
+// proc is one running pgaisland process.
+type proc struct {
+	cmd    *exec.Cmd
+	stdout *bytes.Buffer
+	log    *os.File
+}
+
+// startIsland launches island self with the shared peer list.
+func startIsland(t *testing.T, bin string, dir string, self int, peers string, extra ...string) *proc {
+	t.Helper()
+	logf, err := os.OpenFile(
+		filepath.Join(dir, fmt.Sprintf("island-%d.log", self)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{
+		"-self", fmt.Sprint(self),
+		"-peers", peers,
+		// 1024-bit OneMax with a small population cannot solve within
+		// the generation budget, so every island runs its full span —
+		// the kill, outage and rejoin all land inside live evolution.
+		"-problem", "onemax", "-size", "1024", "-pop", "40",
+		"-gens", "250", "-interval", "2", "-migrants", "2",
+		"-seed", "7", "-pace", "5ms", "-quiet",
+	}, extra...)
+	is := &proc{cmd: exec.Command(bin, args...), stdout: &bytes.Buffer{}, log: logf}
+	is.cmd.Stdout = is.stdout
+	is.cmd.Stderr = logf
+	if err := is.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return is
+}
+
+// wait joins the process and decodes its result JSON.
+func (is *proc) wait(t *testing.T) islandResult {
+	t.Helper()
+	err := is.cmd.Wait()
+	is.log.Close()
+	if err != nil {
+		t.Fatalf("island exited with %v; stdout: %s", err, is.stdout)
+	}
+	var res islandResult
+	if jerr := json.NewDecoder(bytes.NewReader(is.stdout.Bytes())).Decode(&res); jerr != nil {
+		t.Fatalf("island produced no result JSON (%v); stdout: %q", jerr, is.stdout)
+	}
+	return res
+}
+
+func TestMultiProcessIslandsSurviveKillAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildIsland(t, dir)
+	logs := logDir(t)
+	addrs := freePorts(t, 4)
+	peers := strings.Join(addrs, ",")
+
+	// Island 0 injects deterministic faults on its outbound link: a 40%
+	// drop rate plus a scripted partition window, so dead-lettering is
+	// guaranteed even if the wire itself behaves.
+	islands := make([]*proc, 4)
+	islands[0] = startIsland(t, bin, logs, 0, peers,
+		"-drop", "0.4", "-partition", "10:30:1", "-faultseed", "99")
+	for i := 1; i < 4; i++ {
+		islands[i] = startIsland(t, bin, logs, i, peers)
+	}
+
+	// Let the ring form and exchange for a while, then SIGKILL island 3
+	// mid-run — no cleanup, no goodbye, exactly like a crashed node.
+	time.Sleep(350 * time.Millisecond)
+	victim := islands[3]
+	if err := victim.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.cmd.Wait()
+	victim.log.Close()
+
+	// The survivors run degraded. Then the island rejoins on the same
+	// address (a fresh process, as a cluster manager would restart it).
+	time.Sleep(400 * time.Millisecond)
+	islands[3] = startIsland(t, bin, logs, 3, peers)
+
+	results := make([]islandResult, 4)
+	for i, is := range islands {
+		results[i] = is.wait(t)
+	}
+
+	var dropped, reconnects, migrations int64
+	for i, r := range results {
+		t.Logf("island %d: best=%g gens=%d migrations=%d dead_lettered=%d net=%+v stop=%q",
+			i, r.Best, r.Generations, r.Migrations, r.DeadLettered, r.Net, r.StopReason)
+		if r.Self != i {
+			t.Errorf("island %d reported self=%d", i, r.Self)
+		}
+		if r.Best <= 0 {
+			t.Errorf("island %d produced no valid best (%g)", i, r.Best)
+		}
+		if r.Generations <= 0 {
+			t.Errorf("island %d ran no generations", i)
+		}
+		dropped += r.DeadLettered
+		reconnects += r.Net.Reconnects
+		migrations += r.Migrations
+	}
+	if migrations == 0 {
+		t.Error("no migration crossed the wire in the whole run")
+	}
+	// The injected faults and the killed island must both show up in
+	// the dead-letter accounting.
+	if results[0].DeadLettered == 0 {
+		t.Error("island 0's injected faults dead-lettered nothing")
+	}
+	if dropped == 0 {
+		t.Error("kill+faults run recorded zero dead-lettered batches")
+	}
+	// Island 2 dials island 3 (ring): the restart must have produced a
+	// reconnect somewhere in the ring.
+	if reconnects == 0 {
+		t.Error("restarted island produced no reconnect")
+	}
+}

@@ -1,0 +1,284 @@
+// Command pgaisland runs ONE island of a multi-process island-model GA.
+// Each process listens on its own TCP address, dials its peers, and
+// exchanges migrant batches over the partition-tolerant transport
+// (internal/transport); N such processes form the distributed analogue
+// of `pgarun -model islands`. Peer loss never stops evolution — the
+// island degrades to solo search and rejoins peers as they come back.
+//
+// Usage: one process per island, same -peers list (comma-separated,
+// island-id order) and same -seed everywhere, distinct -self:
+//
+//	pgaisland -self 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//	pgaisland -self 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//	pgaisland -self 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// Deterministic fault injection (-drop, -dup, -reorder, -partition,
+// -crashat) wraps the outbound side of this island's endpoint with a
+// transport.Faulty layer seeded by -faultseed, so a run's fault
+// schedule is reproducible byte for byte.
+//
+// The final result is printed to stdout as a single JSON object;
+// progress and transport diagnostics go to stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pga/internal/core"
+	"pga/internal/engine"
+	"pga/internal/ga"
+	"pga/internal/genome"
+	"pga/internal/island"
+	"pga/internal/migration"
+	"pga/internal/operators"
+	"pga/internal/problems"
+	"pga/internal/rng"
+	"pga/internal/topology"
+	"pga/internal/transport"
+)
+
+// result is the JSON document printed to stdout — the cross-process
+// contract consumed by the multi-process integration test.
+type result struct {
+	Self         int           `json:"self"`
+	Best         float64       `json:"best"`
+	Solved       bool          `json:"solved"`
+	Generations  int           `json:"generations"`
+	Evaluations  int64         `json:"evaluations"`
+	Migrations   int64         `json:"migrations"`
+	DeadLettered int64         `json:"dead_lettered"`
+	Restarts     int64         `json:"restarts"`
+	Net          core.NetStats `json:"net"`
+	StopReason   string        `json:"stop_reason"`
+	ElapsedMS    int64         `json:"elapsed_ms"`
+}
+
+func main() {
+	self := flag.Int("self", 0, "this island's id (index into -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated island addresses in id order (required)")
+	problem := flag.String("problem", "onemax", "problem key (see pgarun -list)")
+	size := flag.Int("size", 64, "problem size")
+	pop := flag.Int("pop", 50, "population size")
+	gens := flag.Int("gens", 300, "maximum generations")
+	interval := flag.Int("interval", 5, "migration interval (generations)")
+	migrants := flag.Int("migrants", 2, "migrants per exchange")
+	topo := flag.String("topology", "ring", "ring | biring | star | complete")
+	seed := flag.Uint64("seed", 1, "shared run seed (same on every island)")
+	pace := flag.Duration("pace", 0, "per-generation sleep (stretches the run for fault drills)")
+	quiet := flag.Bool("quiet", false, "suppress per-generation progress")
+
+	drop := flag.Float64("drop", 0, "fault: per-send loss probability on outbound links")
+	dup := flag.Float64("dup", 0, "fault: per-send duplication probability")
+	reorder := flag.Float64("reorder", 0, "fault: per-send reorder probability")
+	jitter := flag.Float64("jitter", 0, "fault: jitter spread (with -maxdelay, delays sends by logical ticks)")
+	maxDelay := flag.Int("maxdelay", 3, "fault: maximum delay in sends")
+	partition := flag.String("partition", "", "fault: partition spec from:until:peer[;peer...] (ticks, until 0 = forever)")
+	crashAt := flag.String("crashat", "", "fault: crash spec peer:at:until (ticks)")
+	faultSeed := flag.Uint64("faultseed", 0, "fault schedule seed (0 = derive from -seed and -self)")
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix(fmt.Sprintf("pgaisland[%d]: ", *self))
+
+	addrs := strings.Split(*peersFlag, ",")
+	n := len(addrs)
+	if *peersFlag == "" || n < 2 {
+		log.Fatal("need -peers with at least two comma-separated addresses")
+	}
+	if *self < 0 || *self >= n {
+		log.Fatalf("-self %d out of range for %d peers", *self, n)
+	}
+
+	spec, err := problems.Lookup(*problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob := spec.Make(*size, *seed)
+	engineRNG, migRNG := island.WireStreams(*seed, n, *self)
+
+	peers := make(map[int]string, n-1)
+	for i, a := range addrs {
+		if i != *self {
+			peers[i] = strings.TrimSpace(a)
+		}
+	}
+	tcp, err := transport.NewTCP(transport.TCPConfig{
+		Self:   *self,
+		Listen: strings.TrimSpace(addrs[*self]),
+		Peers:  peers,
+		Seed:   *seed + uint64(*self),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s, %d peers", tcp.Addr(), len(peers))
+
+	var ep transport.Endpoint = tcp
+	if fspec, faulty := faultSpec(*drop, *jitter, *dup, *reorder, *maxDelay, *partition, *crashAt); faulty {
+		fs := *faultSeed
+		if fs == 0 {
+			fs = *seed*1000003 + uint64(*self)
+		}
+		log.Printf("fault injection on: drop=%g dup=%g reorder=%g partitions=%d crashes=%d seed=%d",
+			*drop, *dup, *reorder, len(fspec.Partitions), len(fspec.Crashes), fs)
+		ep = transport.NewFaulty(tcp, fspec, fs)
+	}
+	defer ep.Close()
+
+	obs := engine.Funcs{
+		Generation: func(s core.Status) {
+			if *pace > 0 {
+				time.Sleep(*pace)
+			}
+			if !*quiet && s.Generation%25 == 0 {
+				log.Printf("gen %4d  best %.6g  evals %d", s.Generation, s.BestFitness, s.Evaluations)
+			}
+		},
+	}
+
+	start := time.Now()
+	res := island.RunWire(island.WireConfig{
+		Self:      *self,
+		Topology:  makeTopology(*topo, n),
+		Endpoint:  ep,
+		Policy:    migration.Policy{Interval: *interval, Count: *migrants},
+		Engine:    ga.NewGenerational(gaConfig(prob, *pop, engineRNG)),
+		MigRNG:    migRNG,
+		MaxGens:   *gens,
+		Observers: []engine.Observer{obs},
+	})
+	// Close before reading stats so in-flight queues drain or dead-letter.
+	if err := ep.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	net := ep.Stats()
+
+	out := result{
+		Self:         *self,
+		Best:         res.BestFitness,
+		Solved:       res.Solved,
+		Generations:  res.Generations,
+		Evaluations:  res.Evaluations,
+		Migrations:   res.Migrations,
+		DeadLettered: net.Dropped,
+		Restarts:     net.Reconnects,
+		Net:          net,
+		StopReason:   res.StopReason,
+		ElapsedMS:    time.Since(start).Milliseconds(),
+	}
+	log.Printf("done: best=%g solved=%v gens=%d sent=%d delivered=%d received=%d dropped=%d reconnects=%d",
+		out.Best, out.Solved, out.Generations, net.Sent, net.Delivered, net.Received, net.Dropped, net.Reconnects)
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// gaConfig builds this island's engine configuration with the same
+// canonical operator choice per genome type as pgarun.
+func gaConfig(prob core.Problem, pop int, r *rng.Source) ga.Config {
+	var xover operators.Crossover
+	var mut operators.Mutator
+	switch prob.NewGenome(rng.New(0)).(type) {
+	case *genome.RealVector:
+		xover, mut = operators.SBX{}, operators.Polynomial{}
+	case *genome.Permutation:
+		xover, mut = operators.OX{}, operators.Inversion{}
+	case *genome.IntVector:
+		xover, mut = operators.Uniform{}, operators.UniformReset{}
+	default:
+		xover, mut = operators.Uniform{}, operators.BitFlip{}
+	}
+	return ga.Config{
+		Problem: prob, PopSize: pop,
+		Crossover: xover, Mutator: mut, RNG: r,
+	}
+}
+
+func makeTopology(name string, n int) topology.Topology {
+	switch name {
+	case "biring":
+		return topology.BiRing(n)
+	case "star":
+		return topology.Star(n)
+	case "complete":
+		return topology.Complete(n)
+	default:
+		return topology.Ring(n)
+	}
+}
+
+// faultSpec assembles a transport.FaultSpec from the fault flags and
+// reports whether any fault injection was requested.
+func faultSpec(drop, jitter, dup, reorder float64, maxDelay int, partition, crashAt string) (transport.FaultSpec, bool) {
+	spec := transport.FaultSpec{
+		Link:        transport.LinkFaults{LossProb: drop, Jitter: jitter},
+		MaxDelay:    maxDelay,
+		DupProb:     dup,
+		ReorderProb: reorder,
+	}
+	if partition != "" {
+		p, err := parsePartition(partition)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Partitions = append(spec.Partitions, p)
+	}
+	if crashAt != "" {
+		c, err := parseCrash(crashAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Crashes = append(spec.Crashes, c)
+	}
+	faulty := drop > 0 || jitter > 0 || dup > 0 || reorder > 0 ||
+		len(spec.Partitions) > 0 || len(spec.Crashes) > 0
+	return spec, faulty
+}
+
+// parsePartition parses "from:until:peer[;peer...]".
+func parsePartition(s string) (transport.Partition, error) {
+	var p transport.Partition
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 {
+		return p, fmt.Errorf("bad -partition %q (want from:until:peer[;peer...])", s)
+	}
+	from, err1 := strconv.ParseUint(parts[0], 10, 64)
+	until, err2 := strconv.ParseUint(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return p, fmt.Errorf("bad -partition bounds in %q", s)
+	}
+	p.From, p.Until = from, until
+	for _, ps := range strings.Split(parts[2], ";") {
+		id, err := strconv.Atoi(ps)
+		if err != nil {
+			return p, fmt.Errorf("bad -partition peer %q", ps)
+		}
+		p.Peers = append(p.Peers, id)
+	}
+	return p, nil
+}
+
+// parseCrash parses "peer:at:until".
+func parseCrash(s string) (transport.Crash, error) {
+	var c transport.Crash
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return c, fmt.Errorf("bad -crashat %q (want peer:at:until)", s)
+	}
+	peer, err1 := strconv.Atoi(parts[0])
+	at, err2 := strconv.ParseUint(parts[1], 10, 64)
+	until, err3 := strconv.ParseUint(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return c, fmt.Errorf("bad -crashat fields in %q", s)
+	}
+	c.Peer, c.At, c.Until = peer, at, until
+	return c, nil
+}

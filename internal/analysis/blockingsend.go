@@ -37,6 +37,7 @@ func DefaultBlockingSendConfig() BlockingSendConfig {
 		"pga/internal/masterslave",
 		"pga/internal/cellular",
 		"pga/internal/supervise",
+		"pga/internal/transport",
 	}}
 }
 

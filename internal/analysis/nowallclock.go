@@ -66,6 +66,11 @@ func DefaultNoWallClockConfig() NoWallClockConfig {
 		"pga/internal/hga.Run",
 		"pga/internal/island.runParallelAsync",
 		"pga/internal/island.runParallelAsyncSupervised",
+		// The wire transport is the one place the repository touches real
+		// I/O: dial/write deadlines, reconnect backoff and interruptible
+		// sleeps are its job. The determinism contract stops at the wire —
+		// everything the transport *carries* stays seeded-stream driven.
+		"pga/internal/transport",
 	}}
 }
 

@@ -27,6 +27,21 @@ func TestNoWallClockPackageAllowlist(t *testing.T) {
 	}
 }
 
+func TestNoWallClockTransportAllowlist(t *testing.T) {
+	// The wire transport is allowlisted wholesale: deadlines, backoff
+	// and interruptible sleeps are real-I/O concerns, not simulation
+	// clocks. The same clock reads under a sibling comm package (the
+	// deterministic island runtime) must still be flagged.
+	pkg := loadFixtureAs(t, "nowallclock_bad.go", "pga/internal/transport")
+	if diags := RunAnalyzers("", []*Package{pkg}, []*Analyzer{NoWallClock()}); len(diags) != 0 {
+		t.Fatalf("transport package still reported: %v", diags)
+	}
+	pkg = loadFixtureAs(t, "nowallclock_bad.go", "pga/internal/island")
+	if diags := RunAnalyzers("", []*Package{pkg}, []*Analyzer{NoWallClock()}); len(diags) == 0 {
+		t.Fatal("island package slipped through the clock rule")
+	}
+}
+
 func TestNoWallClockFunctionAllowlistIsExact(t *testing.T) {
 	// nowallclock_ok.go relies on the pga/internal/hga.Run entry; the same
 	// file under a different package path must be flagged.

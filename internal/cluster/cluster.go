@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pga/internal/rng"
+	"pga/internal/transport"
 )
 
 // NodeSpec describes one virtual machine in the cluster.
@@ -49,6 +50,16 @@ var (
 	// DREAM-style wide-area setting of §4).
 	Internet = LinkSpec{Latency: 50e-3, BytesPerSec: 1e6, Jitter: 10e-3, LossProb: 0.01}
 )
+
+// Faults returns the link's stochastic loss/jitter model in the form
+// shared with the real transport layer: the same transport.LinkFaults
+// drives both this simulated cluster's Send and a transport.Faulty
+// wrapper around real sockets, so a scenario tuned here injects the
+// identical fault model on the wire (and, per seed, the identical draw
+// sequence).
+func (l LinkSpec) Faults() transport.LinkFaults {
+	return transport.LinkFaults{LossProb: l.LossProb, Jitter: l.Jitter}
+}
 
 // TransferTime returns the modelled delay for size bytes, excluding jitter.
 func (l LinkSpec) TransferTime(size float64) float64 {
@@ -146,14 +157,16 @@ func (c *Cluster) Send(from, to int, size float64, deliver func()) {
 		c.dropped++
 		return
 	}
-	if c.link.LossProb > 0 && c.rng.Chance(c.link.LossProb) {
+	// Loss and jitter are drawn from the fault model shared with the
+	// real transport (transport.LinkFaults), replacing the drop logic
+	// that used to be duplicated here: one model, one draw order, for
+	// the simulated and the socket-backed paths alike.
+	drop, jitter := c.link.Faults().Roll(c.rng)
+	if drop {
 		c.dropped++
 		return
 	}
-	delay := c.link.TransferTime(size)
-	if c.link.Jitter > 0 {
-		delay += c.rng.Float64() * c.link.Jitter
-	}
+	delay := c.link.TransferTime(size) + jitter
 	arrival := c.Sim.Now() + delay
 	crashAt := c.nodes[to].CrashAt
 	c.Sim.Schedule(delay, func() {

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"testing"
+
+	"pga/internal/rng"
+	"pga/internal/transport"
+)
+
+// TestLinkSpecFoldsIntoTransportFaults pins the shared-fault-model
+// contract: a simulated link's loss/jitter preset folds into the
+// transport.LinkFaults the wire-level Faulty injector draws from, with
+// the same knob values and the same seeded draw sequence — a scenario
+// tuned against the virtual cluster misbehaves identically on the
+// real transport.
+func TestLinkSpecFoldsIntoTransportFaults(t *testing.T) {
+	f := Internet.Faults()
+	if f.LossProb != Internet.LossProb || f.Jitter != Internet.Jitter {
+		t.Fatalf("Faults() = %+v, want loss %g jitter %g", f, Internet.LossProb, Internet.Jitter)
+	}
+	if lan := GigabitEthernet.Faults(); lan.LossProb != 0 || lan.Jitter != 0 {
+		t.Fatalf("lossless preset grew faults: %+v", lan)
+	}
+
+	// Same seed, same draw sequence: two independent replays of 200
+	// rolls must agree fate for fate.
+	a, b := rng.New(77), rng.New(77)
+	for i := 0; i < 200; i++ {
+		dropA, jitA := f.Roll(a)
+		dropB, jitB := f.Roll(b)
+		if dropA != dropB || jitA != jitB {
+			t.Fatalf("roll %d diverged: (%v,%g) vs (%v,%g)", i, dropA, jitA, dropB, jitB)
+		}
+		if jitA < 0 || jitA >= Internet.Jitter+1e-12 {
+			t.Fatalf("roll %d jitter %g outside [0,%g)", i, jitA, Internet.Jitter)
+		}
+	}
+
+	// And the folded spec drives a deterministic wire-fault schedule.
+	spec := transport.FaultsFromLink(f)
+	if spec.Link != f {
+		t.Fatalf("FaultsFromLink altered the model: %+v", spec.Link)
+	}
+}

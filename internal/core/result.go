@@ -50,6 +50,43 @@ type RunStats struct {
 	Trace []TracePoint
 }
 
+// NetStats is the delivery accounting of a migration transport endpoint
+// (internal/transport): how many migrant batches an island offered,
+// actually put on the wire, received, and lost, plus the link-health
+// transitions of its peers. Wire-mode island results embed it so
+// distributed runs report communication loss the way they report
+// evaluations — explicitly, never silently (the Harada/Alba/Luque
+// requirement that distributed measurements account for their failures).
+type NetStats struct {
+	// Sent counts batches offered to the transport (accepted into the
+	// send path, whether or not they later reached the peer).
+	Sent int64
+	// Delivered counts batches handed to a peer: written to the wire
+	// (TCP) or placed in the peer's inbox (loopback).
+	Delivered int64
+	// Received counts inbound batches dequeued by the island.
+	Received int64
+	// Dropped counts batches lost on this endpoint: backpressure
+	// (drop-oldest queues, full inboxes), dead or unreachable peers,
+	// write failures, corrupt frames and injected faults.
+	Dropped int64
+	// Reconnects counts peer links re-established after a failure.
+	Reconnects int64
+	// PeerDowns counts transitions of a peer to "down" after repeated
+	// connection failures.
+	PeerDowns int64
+}
+
+// Add accumulates other into s (aggregating per-endpoint stats).
+func (s *NetStats) Add(other NetStats) {
+	s.Sent += other.Sent
+	s.Delivered += other.Delivered
+	s.Received += other.Received
+	s.Dropped += other.Dropped
+	s.Reconnects += other.Reconnects
+	s.PeerDowns += other.PeerDowns
+}
+
 // Result summarises a completed evolutionary run of a single engine.
 type Result struct {
 	RunStats

@@ -31,6 +31,7 @@ import (
 	"pga/internal/rng"
 	"pga/internal/supervise"
 	"pga/internal/topology"
+	"pga/internal/transport"
 )
 
 // Config describes an island-model run.
@@ -91,8 +92,14 @@ type Result struct {
 	// HeartbeatTimeouts counts missed per-generation heartbeats.
 	HeartbeatTimeouts int64
 	// DeadLettered counts async migrant batches dropped after their
-	// retry budget.
+	// retry budget (wire-mode runs additionally count transport-level
+	// losses here; see Net).
 	DeadLettered int64
+	// Net is the transport-level delivery accounting: the summed
+	// endpoint stats of the asynchronous in-process modes, or the
+	// single endpoint's stats of a wire-mode run (RunWire). Zero for
+	// the sequential and synchronous modes, which migrate centrally.
+	Net core.NetStats
 	// DeadDemes lists demes that exhausted their restart budget and were
 	// routed around.
 	DeadDemes []int
@@ -445,7 +452,7 @@ func (h demeHalt) Reason() string { return "max generations" }
 
 // asyncDeme is one free-running deme's engine.Stepper: evolve, check the
 // deme's own population against the target, then (when the policy is due)
-// emigrate over non-blocking channels and drain the inbox. The global
+// emigrate over its transport endpoint and drain its inbox. The global
 // best is computed after the demes join, so its loop runs with SkipBest.
 type asyncDeme struct {
 	m         *Model
@@ -453,7 +460,7 @@ type asyncDeme struct {
 	e         ga.Engine
 	mr        *rng.Source
 	nbrs      []int
-	inbox     []chan []*core.Individual
+	ep        transport.Endpoint
 	solved    *atomic.Bool
 	solvedGen *atomic.Int64
 	gens      []int
@@ -476,32 +483,24 @@ func (d *asyncDeme) Step(g int) engine.StepInfo {
 	}
 	p := d.m.cfg.Policy
 	if p.Due(g) {
-		// Emigrate: non-blocking send of a fresh clone batch per link.
+		// Emigrate: best-effort offer of a fresh clone batch per link.
+		// A refused batch (receiver's buffer full) is dropped — never
+		// block evolution (bounded-staleness async model).
 		if len(d.nbrs) > 0 {
 			out := p.Select.Pick(d.e.Population(), d.m.dir, p.Count, d.mr)
 			for _, nbr := range d.nbrs {
-				batch := make([]*core.Individual, len(out))
-				for k, ind := range out {
-					batch[k] = ind.Clone()
-				}
-				select {
-				case d.inbox[nbr] <- batch:
+				if d.ep.Send(nbr, migration.CloneBatch(out)) {
 					info.Migrations++
-				default:
-					// Receiver's buffer full: drop, never block
-					// evolution (bounded-staleness async model).
 				}
 			}
 		}
 		// Immigrate: drain whatever has arrived.
-	drain:
 		for {
-			select {
-			case batch := <-d.inbox[d.i]:
-				p.Replace.Integrate(d.e.Population(), d.m.dir, batch, d.mr)
-			default:
-				break drain
+			batch, ok := d.ep.Recv()
+			if !ok {
+				break
 			}
+			p.Replace.Integrate(d.e.Population(), d.m.dir, batch, d.mr)
 		}
 	}
 	return info
@@ -516,8 +515,10 @@ func (d *asyncDeme) Evaluations() int64 { return d.e.Evaluations() }
 // Direction implements engine.Stepper.
 func (d *asyncDeme) Direction() core.Direction { return d.m.dir }
 
-// runParallelAsync: free-running demes with buffered channel migration,
-// one engine.Loop per deme goroutine.
+// runParallelAsync: free-running demes exchanging migrants over
+// in-process loopback transport endpoints, one engine.Loop per deme
+// goroutine. The endpoints are the same seam wire-mode islands run
+// over (internal/transport), with Loopback as the medium.
 func (m *Model) runParallelAsync(maxGens int) *Result {
 	start := time.Now()
 	res := &Result{}
@@ -525,10 +526,7 @@ func (m *Model) runParallelAsync(maxGens int) *Result {
 	p := m.cfg.Policy
 	n := len(m.engines)
 
-	inbox := make([]chan []*core.Individual, n)
-	for i := range inbox {
-		inbox[i] = make(chan []*core.Individual, p.Buffer)
-	}
+	eps := transport.NewLoopback(n, p.Buffer)
 	var solved atomic.Bool
 	var solvedGen atomic.Int64
 	gens := make([]int, n)
@@ -541,7 +539,7 @@ func (m *Model) runParallelAsync(maxGens int) *Result {
 			defer wg.Done()
 			d := &asyncDeme{
 				m: m, i: i, e: m.engines[i], mr: m.migRNGs[i],
-				nbrs: m.cfg.Topology.Neighbors(i), inbox: inbox,
+				nbrs: m.cfg.Topology.Neighbors(i), ep: eps[i],
 				solved: &solved, solvedGen: &solvedGen, gens: gens, ta: ta,
 			}
 			var stats core.RunStats
@@ -553,6 +551,9 @@ func (m *Model) runParallelAsync(maxGens int) *Result {
 	}
 	wg.Wait()
 
+	for _, ep := range eps {
+		res.Net.Add(ep.Stats())
+	}
 	m.finishAsync(res, totals, gens, &solved, &solvedGen)
 	res.Elapsed = time.Since(start)
 	return res

@@ -8,8 +8,10 @@ import (
 	"pga/internal/core"
 	"pga/internal/engine"
 	"pga/internal/ga"
+	"pga/internal/migration"
 	"pga/internal/rng"
 	"pga/internal/supervise"
+	"pga/internal/transport"
 )
 
 // This file holds the supervised variants of RunParallel — the runtime
@@ -180,7 +182,7 @@ type supAsyncDeme struct {
 	i          int
 	e          ga.Engine
 	mr         *rng.Source
-	inbox      []chan []*core.Individual
+	ep         transport.Endpoint
 	sup        *supervise.Supervisor
 	router     *supervise.Router
 	maxRetries int
@@ -192,23 +194,22 @@ type supAsyncDeme struct {
 	delivered  int64
 }
 
-// deliver attempts one non-blocking send, dead-lettering batches whose
-// receiver died or whose retries ran out.
+// deliver attempts one best-effort endpoint send, dead-lettering
+// batches whose receiver died or whose retries ran out.
 func (d *supAsyncDeme) deliver(pb pendingBatch) {
 	if !d.router.Alive(pb.dest) {
 		d.sup.DeadLetter(1)
 		return
 	}
-	select {
-	case d.inbox[pb.dest] <- pb.batch:
+	if d.ep.Send(pb.dest, pb.batch) {
 		d.delivered++
-	default:
-		if pb.attempts >= d.maxRetries {
-			d.sup.DeadLetter(1)
-		} else {
-			pb.attempts++
-			d.pending = append(d.pending, pb)
-		}
+		return
+	}
+	if pb.attempts >= d.maxRetries {
+		d.sup.DeadLetter(1)
+	} else {
+		pb.attempts++
+		d.pending = append(d.pending, pb)
 	}
 }
 
@@ -254,23 +255,17 @@ func (d *supAsyncDeme) Step(g int) engine.StepInfo {
 		if len(nbrs) > 0 {
 			out := p.Select.Pick(d.e.Population(), d.m.dir, p.Count, d.mr)
 			for _, nbr := range nbrs {
-				batch := make([]*core.Individual, len(out))
-				for k, ind := range out {
-					batch[k] = ind.Clone()
-				}
-				d.deliver(pendingBatch{dest: nbr, batch: batch, attempts: 1})
+				d.deliver(pendingBatch{dest: nbr, batch: migration.CloneBatch(out), attempts: 1})
 			}
 		}
 		info.Migrations = d.delivered - before
 		// Immigrate: drain whatever has arrived.
-	drain:
 		for {
-			select {
-			case batch := <-d.inbox[d.i]:
-				p.Replace.Integrate(d.e.Population(), d.m.dir, batch, d.mr)
-			default:
-				break drain
+			batch, ok := d.ep.Recv()
+			if !ok {
+				break
 			}
+			p.Replace.Integrate(d.e.Population(), d.m.dir, batch, d.mr)
 		}
 	}
 	return info
@@ -324,10 +319,7 @@ func (m *Model) runParallelAsyncSupervised(maxGens int, sup *supervise.Superviso
 	router := sup.Router()
 	maxRetries := sup.Config().MaxSendRetries
 
-	inbox := make([]chan []*core.Individual, n)
-	for i := range inbox {
-		inbox[i] = make(chan []*core.Individual, p.Buffer)
-	}
+	eps := transport.NewLoopback(n, p.Buffer)
 	var solved atomic.Bool
 	var solvedGen atomic.Int64
 	gens := make([]int, n)
@@ -340,7 +332,7 @@ func (m *Model) runParallelAsyncSupervised(maxGens int, sup *supervise.Superviso
 			defer wg.Done()
 			d := &supAsyncDeme{
 				m: m, i: i, e: m.engines[i], mr: m.migRNGs[i],
-				inbox: inbox, sup: sup, router: router, maxRetries: maxRetries,
+				ep: eps[i], sup: sup, router: router, maxRetries: maxRetries,
 				solved: &solved, solvedGen: &solvedGen, gens: gens, ta: ta,
 			}
 			var stats core.RunStats
@@ -353,6 +345,9 @@ func (m *Model) runParallelAsyncSupervised(maxGens int, sup *supervise.Superviso
 	}
 	wg.Wait()
 
+	for _, ep := range eps {
+		res.Net.Add(ep.Stats())
+	}
 	m.finishAsync(res, totals, gens, &solved, &solvedGen)
 	res.Elapsed = time.Since(start)
 	return res

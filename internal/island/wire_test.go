@@ -1,0 +1,111 @@
+package island
+
+import (
+	"sync"
+	"testing"
+
+	"pga/internal/migration"
+	"pga/internal/topology"
+	"pga/internal/transport"
+)
+
+// TestRunWireOverLoopback drives the wire-mode runner in-process: one
+// RunWire goroutine per island over shared Loopback endpoints — the
+// same code path cmd/pgaisland runs over TCP, minus the sockets.
+func TestRunWireOverLoopback(t *testing.T) {
+	const n = 4
+	eps := transport.NewLoopback(n, 16)
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			er, mr := WireStreams(11, n, i)
+			results[i] = RunWire(WireConfig{
+				Self:     i,
+				Topology: topology.Ring(n),
+				Endpoint: eps[i],
+				Policy:   migration.Policy{Interval: 5, Count: 2},
+				Engine:   onemaxEngines(64, 30)(i, er),
+				MigRNG:   mr,
+				MaxGens:  400,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	var migrations int64
+	for i, res := range results {
+		if !res.Solved {
+			t.Errorf("island %d failed onemax: best=%g after %d gens", i, res.BestFitness, res.Generations)
+		}
+		if len(res.PerDemeBest) != 1 {
+			t.Errorf("island %d PerDemeBest = %v, want its own single entry", i, res.PerDemeBest)
+		}
+		migrations += res.Migrations
+		if res.Net.Sent == 0 {
+			t.Errorf("island %d never offered a batch to the wire", i)
+		}
+	}
+	if migrations == 0 {
+		t.Fatal("no migration was delivered across the ring")
+	}
+}
+
+// TestRunWireSoloWhenAllPeersLost: an island whose every peer is dead
+// keeps evolving alone — graceful degradation, not deadlock.
+func TestRunWireSoloWhenAllPeersLost(t *testing.T) {
+	const n = 3
+	eps := transport.NewLoopback(n, 4)
+	// Faulty scripts both peers crashed from tick 0, forever.
+	spec := transport.FaultSpec{Crashes: []transport.Crash{
+		{Peer: 1, At: 0, Until: 0},
+		{Peer: 2, At: 0, Until: 0},
+	}}
+	er, mr := WireStreams(3, n, 0)
+	res := RunWire(WireConfig{
+		Self:     0,
+		Topology: topology.Complete(n),
+		Endpoint: transport.NewFaulty(eps[0], spec, 5),
+		Policy:   migration.Policy{Interval: 3, Count: 1},
+		Engine:   onemaxEngines(48, 25)(0, er),
+		MigRNG:   mr,
+		MaxGens:  600,
+	})
+	if !res.Solved {
+		t.Fatalf("solo island failed onemax: best=%g", res.BestFitness)
+	}
+	if res.Net.Dropped == 0 || res.DeadLettered == 0 {
+		t.Fatalf("crashed-peer traffic not dead-lettered: %+v", res.Net)
+	}
+}
+
+// TestWireStreamsMatchInProcessSplit pins the cross-process determinism
+// contract: WireStreams must hand island i exactly the engine and
+// migration streams the in-process model's seed split would, and the
+// pairs must be distinct across islands.
+func TestWireStreamsMatchInProcessSplit(t *testing.T) {
+	const n, seed = 4, 42
+	for i := 0; i < n; i++ {
+		e1, m1 := WireStreams(seed, n, i)
+		e2, m2 := WireStreams(seed, n, i)
+		for k := 0; k < 8; k++ {
+			if e1.Uint64() != e2.Uint64() || m1.Uint64() != m2.Uint64() {
+				t.Fatalf("island %d: WireStreams is not a pure function of (seed, n, self)", i)
+			}
+		}
+	}
+	// Distinctness across islands (first draw collision would mean a
+	// shared stream — the bug the stream-per-goroutine rule exists for).
+	seen := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		e, m := WireStreams(seed, n, i)
+		for name, v := range map[string]uint64{"engine": e.Uint64(), "migration": m.Uint64()} {
+			if j, dup := seen[v]; dup {
+				t.Fatalf("island %d %s stream collides with stream %d", i, name, j)
+			}
+			seen[v] = i
+		}
+	}
+}

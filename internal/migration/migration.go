@@ -113,6 +113,19 @@ func (s SelectTournament) Pick(pop *core.Population, d core.Direction, count int
 	return out
 }
 
+// CloneBatch returns a fresh deep copy of a migrant batch. Each
+// neighbour (and each duplicate delivery on a faulty link) must receive
+// its own clones: migrants enter the receiving population by reference,
+// so sharing one batch across destinations would alias individuals
+// between demes. Used by the island runtimes and the transport layer.
+func CloneBatch(batch []*core.Individual) []*core.Individual {
+	out := make([]*core.Individual, len(batch))
+	for i, ind := range batch {
+		out[i] = ind.Clone()
+	}
+	return out
+}
+
 // Replacer integrates immigrants into a deme's population.
 type Replacer interface {
 	// Name identifies the policy in tables and logs.

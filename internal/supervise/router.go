@@ -102,6 +102,23 @@ func (r *Router) MarkDead(i int) {
 	r.rebuild()
 }
 
+// MarkAlive revives deme i and restores its base-graph links — the
+// inverse of MarkDead, used by wire-mode islands when a partitioned or
+// crashed peer reconnects: the healed detour routes are torn down and
+// migration flows through the rejoined peer again. In-process
+// supervision never revives (a dead deme's engine is gone for good);
+// over a real network, "dead" is a reachability verdict that the next
+// successful dial overturns.
+func (r *Router) MarkAlive(i int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.dead[i] {
+		return
+	}
+	r.dead[i] = false
+	r.rebuild()
+}
+
 // rebuild recomputes the healed adjacency under r.mu: for each live deme,
 // a BFS that traverses dead demes (and only dead demes) replaces every
 // dead neighbour with the nearest live demes reachable through the dead

@@ -1,0 +1,280 @@
+package transport
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTCPPair builds two connected TCP endpoints on ephemeral loopback
+// ports and registers cleanup.
+func newTCPPair(t *testing.T, cfg func(*TCPConfig)) (*TCP, *TCP) {
+	t.Helper()
+	// Bind a first to fix its address, then b pointing at a, then
+	// rebuild a on its own (now known) address pointing at b.
+	a := newTCPAt(t, 0, nil, cfg)
+	addrA := a.Addr().String()
+	b := newTCPAt(t, 1, map[int]string{0: addrA}, cfg)
+	a.Close()
+	var a2 *TCP
+	waitUntil(t, 5*time.Second, func() bool {
+		c := TCPConfig{Self: 0, Listen: addrA, Peers: map[int]string{1: b.Addr().String()}, Seed: 1}
+		if cfg != nil {
+			cfg(&c)
+		}
+		ep, err := NewTCP(c)
+		if err != nil {
+			return false
+		}
+		a2 = ep
+		return true
+	}, "rebinding endpoint 0")
+	t.Cleanup(func() { a2.Close() })
+	return a2, b
+}
+
+// newTCPAt builds one endpoint on an ephemeral port.
+func newTCPAt(t *testing.T, self int, peers map[int]string, cfg func(*TCPConfig)) *TCP {
+	t.Helper()
+	c := TCPConfig{
+		Self:   self,
+		Listen: "127.0.0.1:0",
+		Peers:  peers,
+		Seed:   uint64(self) + 1,
+	}
+	if cfg != nil {
+		cfg(&c)
+	}
+	ep, err := NewTCP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	return ep
+}
+
+// waitUntil polls cond until it holds or the deadline expires.
+func waitUntil(t *testing.T, within time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for " + msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitForGoroutines polls until the goroutine count returns to the
+// baseline (sender goroutines may be finishing a backoff sleep).
+func waitForGoroutines(t *testing.T, baseline int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s", n, baseline, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestTCPDeliversBatches(t *testing.T) {
+	a, b := newTCPPair(t, nil)
+	if !a.Send(1, testBatch(2, 8)) {
+		t.Fatal("send refused")
+	}
+	waitUntil(t, 3*time.Second, func() bool {
+		_, ok := b.Recv()
+		return ok
+	}, "batch delivery over TCP")
+	if s := b.Stats(); s.Received != 1 || s.Delivered != 1 {
+		t.Fatalf("receiver stats = %+v", s)
+	}
+}
+
+// TestTCPNoGoroutineLeak: a full exchange, then Close, must return the
+// process to its goroutine baseline — accept loop, per-peer senders
+// and per-connection readers all join.
+func TestTCPNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	a, b := newTCPPair(t, nil)
+	a.Send(1, testBatch(1, 8))
+	b.Send(0, testBatch(1, 8))
+	waitUntil(t, 3*time.Second, func() bool {
+		sa, sb := a.Stats(), b.Stats()
+		return sa.Delivered == 1 && sb.Delivered == 1
+	}, "cross delivery")
+	a.Close()
+	b.Close()
+	waitForGoroutines(t, baseline, 3*time.Second)
+}
+
+// TestTCPConnectStormShutdown: an endpoint whose peers are all
+// unreachable piles every sender into dial-retry backoff; Close must
+// interrupt all of them promptly and leak nothing.
+func TestTCPConnectStormShutdown(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	peers := make(map[int]string, 16)
+	for i := 1; i <= 16; i++ {
+		// Reserve a real ephemeral port, then close it: connection refused.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		peers[i] = addr
+	}
+	ep := newTCPAt(t, 0, peers, func(c *TCPConfig) {
+		c.DialTimeout = 50 * time.Millisecond
+		c.BackoffMax = 50 * time.Millisecond
+		c.DownAfter = 2
+	})
+	for i := 1; i <= 16; i++ {
+		ep.Send(i, testBatch(1, 8))
+	}
+	// Let the dial storm develop, then slam the door.
+	waitUntil(t, 5*time.Second, func() bool { return ep.Stats().PeerDowns >= 4 }, "peers reported down")
+	ep.Close()
+	waitForGoroutines(t, baseline, 3*time.Second)
+	s := ep.Stats()
+	// Every batch died with the endpoint and is accounted for.
+	if s.Dropped != s.Sent {
+		t.Fatalf("stats = %+v: %d batches unaccounted", s, s.Sent-s.Dropped)
+	}
+}
+
+// TestTCPPeerDeathMidFrame: a connection that dies after a partial
+// frame poisons only itself — the receiver drops the stream and decodes
+// the next connection's frames cleanly.
+func TestTCPPeerDeathMidFrame(t *testing.T) {
+	ep := newTCPAt(t, 0, nil, nil)
+
+	// A rogue "peer" writes half a frame and vanishes.
+	good, err := encodeBatch(1, 1, testBatch(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ep.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(good[:len(good)/2]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A healthy peer connects next and must get through.
+	conn2, err := net.Dial("tcp", ep.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write(good); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 3*time.Second, func() bool {
+		_, ok := ep.Recv()
+		return ok
+	}, "delivery after poisoned stream")
+}
+
+// TestTCPDoubleClose: Close is idempotent, including concurrently, and
+// Send/Recv on a closed endpoint refuse politely.
+func TestTCPDoubleClose(t *testing.T) {
+	a, _ := newTCPPair(t, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Send(1, testBatch(1, 8)) {
+		t.Fatal("send on closed endpoint accepted")
+	}
+	if _, ok := a.Recv(); ok {
+		t.Fatal("recv on closed endpoint returned a batch")
+	}
+}
+
+// TestTCPReconnectAndLiveness: killing a peer marks it down (after
+// DownAfter failed dials) and dead-letters traffic to it; restarting it
+// on the same address reconnects, marks it back up and delivers again.
+func TestTCPReconnectAndLiveness(t *testing.T) {
+	fast := func(c *TCPConfig) {
+		c.DialTimeout = 100 * time.Millisecond
+		c.BackoffMin = 5 * time.Millisecond
+		c.BackoffMax = 25 * time.Millisecond
+		c.DownAfter = 2
+	}
+	b := newTCPAt(t, 1, nil, fast)
+	addrB := b.Addr().String()
+	a := newTCPAt(t, 0, map[int]string{1: addrB}, fast)
+
+	var mu sync.Mutex
+	var transitions []bool
+	a.SetPeerStateHook(func(peer int, up bool) {
+		mu.Lock()
+		transitions = append(transitions, up)
+		mu.Unlock()
+	})
+
+	a.Send(1, testBatch(1, 8))
+	waitUntil(t, 3*time.Second, func() bool { return b.Stats().Delivered == 1 }, "first delivery")
+
+	// Kill the peer. Writes now fail; dials fail; the peer goes down.
+	b.Close()
+	waitUntil(t, 5*time.Second, func() bool {
+		a.Send(1, testBatch(1, 8))
+		return a.Stats().PeerDowns >= 1
+	}, "peer reported down")
+
+	// Resurrect it on the same address (retry briefly: the OS may lag
+	// releasing the port even with the listener closed).
+	var b2 *TCP
+	waitUntil(t, 5*time.Second, func() bool {
+		ep, err := NewTCP(TCPConfig{Self: 1, Listen: addrB, Seed: 2})
+		if err != nil {
+			return false
+		}
+		b2 = ep
+		return true
+	}, "rebinding the peer address")
+	defer b2.Close()
+
+	waitUntil(t, 5*time.Second, func() bool {
+		a.Send(1, testBatch(1, 8))
+		return b2.Stats().Delivered >= 1
+	}, "delivery after reconnect")
+	if s := a.Stats(); s.Reconnects < 1 {
+		t.Fatalf("stats = %+v: reconnect not counted", s)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sawDown, sawUp := false, false
+	for _, up := range transitions {
+		if up && sawDown {
+			sawUp = true
+		}
+		if !up {
+			sawDown = true
+		}
+	}
+	if !sawDown || !sawUp {
+		t.Fatalf("liveness transitions = %v: want down then up", transitions)
+	}
+}

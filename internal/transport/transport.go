@@ -1,0 +1,159 @@
+// Package transport is the wire layer of the island model: it carries
+// migrant batches between islands that may live in the same process
+// (Loopback), in separate OS processes connected by TCP sockets (TCP),
+// or behind a deterministic fault injector (Faulty).
+//
+// The survey's distributed-PGA perspective (§4) and the frameworks it
+// reviews (DREAM, ParadisEO, the Hadoop-GA line) all run islands over a
+// real network where messages are lost, delayed, duplicated and peers
+// die. This package is designed around that: failure is the normal
+// case, and every primitive is best-effort —
+//
+//   - Send never blocks. A batch that cannot be delivered right now is
+//     queued in a bounded per-peer queue; when the queue is full the
+//     OLDEST batch is dropped (migration carries the current population's
+//     genes — a stale batch is the least valuable one).
+//   - Evolution never waits on the network. A peer that is down costs
+//     dropped batches, not progress: the island keeps evolving solo and
+//     rejoins when the link heals.
+//   - Every loss is counted. Stats (core.NetStats) accounts for each
+//     batch that was dropped, by whom and never silently.
+//
+// The deterministic half of the repository's contract extends here
+// through Faulty: injected drops, delays, duplicates, reorders,
+// partitions and peer crashes are driven by a seeded rng.Source and a
+// logical clock, so the same seed replays the same fault schedule
+// byte-for-byte (see FaultSpec and the schedule property test).
+package transport
+
+import (
+	"sync/atomic"
+
+	"pga/internal/core"
+)
+
+// Endpoint is one island's attachment to the migration medium. An
+// Endpoint is used by a single island goroutine (Send/Recv are not safe
+// for concurrent use with each other); Stats and Close may be called
+// from other goroutines after the island's loop has finished.
+type Endpoint interface {
+	// Self returns this endpoint's island id.
+	Self() int
+	// Send offers one migrant batch to island dest. It is best-effort
+	// and non-blocking: ownership of migrants passes to the endpoint,
+	// and a false return means the batch was refused locally (unknown
+	// or dead peer, full loopback inbox, closed endpoint) — the batch
+	// is already accounted as dropped. A true return means the batch
+	// entered the delivery path; it may still be lost later (and then
+	// counted in Stats().Dropped).
+	Send(dest int, migrants []*core.Individual) bool
+	// Recv dequeues one pending inbound batch without blocking; ok is
+	// false when nothing is pending.
+	Recv() (migrants []*core.Individual, ok bool)
+	// Stats returns a snapshot of the endpoint's delivery accounting.
+	Stats() core.NetStats
+	// Close releases the endpoint's resources (sockets, goroutines).
+	// It is idempotent; Send/Recv on a closed endpoint refuse politely.
+	Close() error
+}
+
+// LivenessReporter is implemented by transports that track peer link
+// health (TCP). The hook fires from transport goroutines when a peer
+// transitions down (after repeated connection failures) or back up
+// (successful reconnect); implementations of the hook must be
+// concurrency-safe and fast. Faulty forwards to its inner endpoint.
+type LivenessReporter interface {
+	SetPeerStateHook(func(peer int, up bool))
+}
+
+// netCounters is the shared atomic implementation of endpoint stats.
+type netCounters struct {
+	sent, delivered, received, dropped, reconnects, peerDowns atomic.Int64
+}
+
+// snapshot returns the counters as a core.NetStats value.
+func (c *netCounters) snapshot() core.NetStats {
+	return core.NetStats{
+		Sent:       c.sent.Load(),
+		Delivered:  c.delivered.Load(),
+		Received:   c.received.Load(),
+		Dropped:    c.dropped.Load(),
+		Reconnects: c.reconnects.Load(),
+		PeerDowns:  c.peerDowns.Load(),
+	}
+}
+
+// Loopback is the in-process implementation: the endpoints of one
+// NewLoopback call share bounded channels, reproducing the island
+// model's historical inbox semantics (bounded non-blocking buffers; a
+// full inbox refuses the batch). It is the default medium of
+// island.RunParallel's asynchronous modes.
+type Loopback struct {
+	self    int
+	inboxes []chan []*core.Individual
+	closed  atomic.Bool
+	netCounters
+}
+
+var _ Endpoint = (*Loopback)(nil)
+
+// NewLoopback builds n connected in-process endpoints whose inboxes
+// hold buffer batches each (buffer < 1 is raised to 1).
+func NewLoopback(n, buffer int) []*Loopback {
+	if buffer < 1 {
+		buffer = 1
+	}
+	inboxes := make([]chan []*core.Individual, n)
+	for i := range inboxes {
+		inboxes[i] = make(chan []*core.Individual, buffer)
+	}
+	eps := make([]*Loopback, n)
+	for i := range eps {
+		eps[i] = &Loopback{self: i, inboxes: inboxes}
+	}
+	return eps
+}
+
+// Self implements Endpoint.
+func (l *Loopback) Self() int { return l.self }
+
+// Send implements Endpoint: a non-blocking offer into the destination
+// inbox. A full inbox refuses the batch (the caller may retry on a
+// later epoch — the supervised runtime's retry/dead-letter loop — or
+// drop it, the unsupervised bounded-staleness model).
+func (l *Loopback) Send(dest int, migrants []*core.Individual) bool {
+	l.sent.Add(1)
+	if l.closed.Load() || dest < 0 || dest >= len(l.inboxes) || dest == l.self {
+		l.dropped.Add(1)
+		return false
+	}
+	select {
+	case l.inboxes[dest] <- migrants:
+		l.delivered.Add(1)
+		return true
+	default:
+		l.dropped.Add(1)
+		return false
+	}
+}
+
+// Recv implements Endpoint.
+func (l *Loopback) Recv() ([]*core.Individual, bool) {
+	select {
+	case batch := <-l.inboxes[l.self]:
+		l.received.Add(1)
+		return batch, true
+	default:
+		return nil, false
+	}
+}
+
+// Stats implements Endpoint.
+func (l *Loopback) Stats() core.NetStats { return l.snapshot() }
+
+// Close implements Endpoint. The shared channels are left open (peer
+// endpoints may still be draining); a closed endpoint refuses sends.
+func (l *Loopback) Close() error {
+	l.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"testing"
+
+	"pga/internal/core"
+	"pga/internal/genome"
+)
+
+// testBatch builds a batch of evaluated bit-string individuals with
+// recognisable fitness values.
+func testBatch(n, bits int) []*core.Individual {
+	out := make([]*core.Individual, n)
+	for i := range out {
+		g := genome.NewBitString(bits)
+		for j := 0; j <= i && j < bits; j++ {
+			g.Bits[j] = true
+		}
+		out[i] = &core.Individual{Genome: g, Fitness: float64(i + 1), Evaluated: true}
+	}
+	return out
+}
+
+func TestLoopbackDeliversBetweenEndpoints(t *testing.T) {
+	eps := NewLoopback(3, 4)
+	batch := testBatch(2, 8)
+	if !eps[0].Send(1, batch) {
+		t.Fatal("Send to live peer refused")
+	}
+	got, ok := eps[1].Recv()
+	if !ok || len(got) != 2 {
+		t.Fatalf("Recv = %v, %v; want 2 individuals", got, ok)
+	}
+	if got[0].Fitness != 1 || got[1].Fitness != 2 {
+		t.Fatalf("batch arrived reordered or corrupted: %v", got)
+	}
+	if _, ok := eps[1].Recv(); ok {
+		t.Fatal("second Recv should find an empty inbox")
+	}
+	s := eps[0].Stats()
+	if s.Sent != 1 || s.Delivered != 1 || s.Dropped != 0 {
+		t.Fatalf("sender stats = %+v", s)
+	}
+	if r := eps[1].Stats(); r.Received != 1 {
+		t.Fatalf("receiver stats = %+v", r)
+	}
+}
+
+func TestLoopbackRefusals(t *testing.T) {
+	eps := NewLoopback(2, 1)
+	if eps[0].Send(0, testBatch(1, 4)) {
+		t.Fatal("self-send should be refused")
+	}
+	if eps[0].Send(7, testBatch(1, 4)) {
+		t.Fatal("out-of-range dest should be refused")
+	}
+	if !eps[0].Send(1, testBatch(1, 4)) {
+		t.Fatal("first send should fill the inbox")
+	}
+	if eps[0].Send(1, testBatch(1, 4)) {
+		t.Fatal("full inbox should refuse")
+	}
+	if err := eps[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if eps[0].Send(1, testBatch(1, 4)) {
+		t.Fatal("closed endpoint should refuse")
+	}
+	s := eps[0].Stats()
+	if s.Sent != 5 || s.Delivered != 1 || s.Dropped != 4 {
+		t.Fatalf("stats = %+v; want 5 sent, 1 delivered, 4 dropped", s)
+	}
+	// The peer can still drain after our close: channels stay open.
+	if _, ok := eps[1].Recv(); !ok {
+		t.Fatal("peer could not drain after sender close")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	batch := testBatch(3, 16)
+	data, err := encodeBatch(5, 42, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, got, err := readFrame(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 5 {
+		t.Fatalf("from = %d, want 5", from)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d individuals, want 3", len(got))
+	}
+	for i, ind := range got {
+		if ind.Fitness != batch[i].Fitness || !ind.Evaluated {
+			t.Fatalf("individual %d: %+v, want fitness %g", i, ind, batch[i].Fitness)
+		}
+		g := ind.Genome.(*genome.BitString)
+		w := batch[i].Genome.(*genome.BitString)
+		for j := range w.Bits {
+			if g.Bits[j] != w.Bits[j] {
+				t.Fatalf("individual %d bit %d flipped in transit", i, j)
+			}
+		}
+	}
+}
+
+func TestWireRejectsCorruptFrames(t *testing.T) {
+	good, err := encodeBatch(0, 1, testBatch(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("oversized length prefix", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		binary.BigEndian.PutUint32(bad[:4], maxFrameBytes+1)
+		if _, _, err := readFrame(bytes.NewReader(bad)); err == nil {
+			t.Fatal("oversized prefix accepted")
+		}
+	})
+	t.Run("zero length prefix", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		binary.BigEndian.PutUint32(bad[:4], 0)
+		if _, _, err := readFrame(bytes.NewReader(bad)); err == nil {
+			t.Fatal("zero prefix accepted")
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		if _, _, err := readFrame(bytes.NewReader(good[:len(good)-3])); err == nil {
+			t.Fatal("truncated frame accepted")
+		}
+	})
+	t.Run("garbage gob", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		for i := 4; i < len(bad); i++ {
+			bad[i] ^= 0xff
+		}
+		if _, _, err := readFrame(bytes.NewReader(bad)); err == nil {
+			t.Fatal("corrupt gob accepted")
+		}
+	})
+	t.Run("self-contained frames", func(t *testing.T) {
+		// Two frames back to back must decode independently — the
+		// reconnect-mid-stream property.
+		second, err := encodeBatch(1, 2, testBatch(2, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := bytes.NewReader(append(append([]byte(nil), good...), second...))
+		if _, _, err := readFrame(r); err != nil {
+			t.Fatal(err)
+		}
+		from, got, err := readFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if from != 1 || len(got) != 2 {
+			t.Fatalf("second frame = from %d, %d individuals", from, len(got))
+		}
+	})
+}
+
+func TestWireVersionMismatchRejected(t *testing.T) {
+	data, err := encodeBatch(0, 1, testBatch(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode the good frame, bump the version, re-frame and re-read.
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(data[4:])).Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+	f.Version = wireVersion + 1
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4))
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	if _, _, err := readFrame(bytes.NewReader(b)); err == nil {
+		t.Fatal("future wire version accepted")
+	}
+}
