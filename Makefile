@@ -34,9 +34,12 @@ perf:
 # Static gate: pgalint (determinism + concurrency contracts) and vet,
 # including explicit copylocks/unusedresult passes. -time reports
 # per-rule wall time; the 60s deadline fails the gate if the
-# interprocedural engine's cost ever outgrows the module.
+# interprocedural engine's cost ever outgrows the module, and the
+# per-rule budget catches a single rule going quadratic long before
+# that. -baseline is the suppression ratchet: the //pgalint:ignore
+# count may not grow past lint-baseline.txt without a reviewed bump.
 lint:
-	$(GO) run ./cmd/pgalint -time -deadline 60s ./...
+	$(GO) run ./cmd/pgalint -time -deadline 60s -rulebudget 20s -baseline lint-baseline.txt ./...
 	$(GO) vet ./...
 	$(GO) vet -copylocks -unusedresult ./...
 

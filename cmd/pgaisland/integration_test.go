@@ -15,7 +15,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -52,23 +51,44 @@ func buildIsland(t *testing.T, dir string) string {
 	return bin
 }
 
-// freePorts reserves n distinct loopback ports and releases them.
-func freePorts(t *testing.T, n int) []string {
+// collectAddrs polls the address files each island publishes after
+// binding ":0" and returns the resolved id-ordered peer list. Unlike
+// the old reserve-release-rebind helper there is no window where a
+// port is free for another process to steal: every island holds its
+// listener from bind to exit.
+func collectAddrs(t *testing.T, exch string, n int) []string {
 	t.Helper()
 	addrs := make([]string, n)
-	lns := make([]net.Listener, n)
-	for i := range addrs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < n; i++ {
+		path := filepath.Join(exch, fmt.Sprintf("addr.%d", i))
+		for {
+			data, err := os.ReadFile(path)
+			if err == nil && len(bytes.TrimSpace(data)) > 0 {
+				addrs[i] = string(bytes.TrimSpace(data))
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("island %d never published its address to %s", i, path)
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
-		lns[i] = ln
-		addrs[i] = ln.Addr().String()
-	}
-	for _, ln := range lns {
-		ln.Close()
 	}
 	return addrs
+}
+
+// publishPeers writes the resolved peer list where the islands are
+// waiting for it, atomically (temp file + rename) so no island can
+// read a partial list.
+func publishPeers(t *testing.T, exch string, addrs []string) {
+	t.Helper()
+	tmp := filepath.Join(exch, ".peers.tmp")
+	if err := os.WriteFile(tmp, []byte(strings.Join(addrs, ",")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(exch, "peers")); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // logDir returns the island-log directory (CI artifact dir when set).
@@ -88,8 +108,9 @@ type proc struct {
 	log    *os.File
 }
 
-// startIsland launches island self with the shared peer list.
-func startIsland(t *testing.T, bin string, dir string, self int, peers string, extra ...string) *proc {
+// startIsland launches island self. Peer wiring (-peers or the
+// -listen/-addrfile/-peersfile handshake) comes in through extra.
+func startIsland(t *testing.T, bin string, dir string, self int, extra ...string) *proc {
 	t.Helper()
 	logf, err := os.OpenFile(
 		filepath.Join(dir, fmt.Sprintf("island-%d.log", self)),
@@ -99,7 +120,6 @@ func startIsland(t *testing.T, bin string, dir string, self int, peers string, e
 	}
 	args := append([]string{
 		"-self", fmt.Sprint(self),
-		"-peers", peers,
 		// 1024-bit OneMax with a small population cannot solve within
 		// the generation budget, so every island runs its full span —
 		// the kill, outage and rejoin all land inside live evolution.
@@ -138,18 +158,31 @@ func TestMultiProcessIslandsSurviveKillAndRestart(t *testing.T) {
 	dir := t.TempDir()
 	bin := buildIsland(t, dir)
 	logs := logDir(t)
-	addrs := freePorts(t, 4)
-	peers := strings.Join(addrs, ",")
+
+	// Port allocation without the reserve-and-release race: every
+	// island binds 127.0.0.1:0 itself, publishes the kernel-resolved
+	// address to its addrfile, and waits for the collected peers file.
+	exch := t.TempDir()
+	handshake := func(self int) []string {
+		return []string{
+			"-listen", "127.0.0.1:0",
+			"-addrfile", filepath.Join(exch, fmt.Sprintf("addr.%d", self)),
+			"-peersfile", filepath.Join(exch, "peers"),
+		}
+	}
 
 	// Island 0 injects deterministic faults on its outbound link: a 40%
 	// drop rate plus a scripted partition window, so dead-lettering is
 	// guaranteed even if the wire itself behaves.
 	islands := make([]*proc, 4)
-	islands[0] = startIsland(t, bin, logs, 0, peers,
-		"-drop", "0.4", "-partition", "10:30:1", "-faultseed", "99")
+	islands[0] = startIsland(t, bin, logs, 0, append(handshake(0),
+		"-drop", "0.4", "-partition", "10:30:1", "-faultseed", "99")...)
 	for i := 1; i < 4; i++ {
-		islands[i] = startIsland(t, bin, logs, i, peers)
+		islands[i] = startIsland(t, bin, logs, i, handshake(i)...)
 	}
+	addrs := collectAddrs(t, exch, 4)
+	publishPeers(t, exch, addrs)
+	peers := strings.Join(addrs, ",")
 
 	// Let the ring form and exchange for a while, then SIGKILL island 3
 	// mid-run — no cleanup, no goodbye, exactly like a crashed node.
@@ -162,9 +195,11 @@ func TestMultiProcessIslandsSurviveKillAndRestart(t *testing.T) {
 	victim.log.Close()
 
 	// The survivors run degraded. Then the island rejoins on the same
-	// address (a fresh process, as a cluster manager would restart it).
+	// resolved address (a fresh process, as a cluster manager would
+	// restart it) — the port was ours until the kill, so rebinding the
+	// exact address races nobody.
 	time.Sleep(400 * time.Millisecond)
-	islands[3] = startIsland(t, bin, logs, 3, peers)
+	islands[3] = startIsland(t, bin, logs, 3, "-peers", peers)
 
 	results := make([]islandResult, 4)
 	for i, is := range islands {

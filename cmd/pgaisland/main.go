@@ -12,6 +12,19 @@
 //	pgaisland -self 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
 //	pgaisland -self 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
 //
+// Fixed port lists race against whatever else runs on the host. For
+// collision-free startup (the integration test's mode), bind the
+// kernel-chosen port first and exchange resolved addresses through the
+// filesystem:
+//
+//	pgaisland -self 0 -listen 127.0.0.1:0 -addrfile d/addr.0 -peersfile d/peers
+//
+// Each island binds -listen (":0" picks a free port atomically), writes
+// the resolved address to -addrfile, then waits for -peersfile — the
+// launcher collects every addrfile and writes the full id-ordered,
+// comma-separated list there. Only then is the endpoint constructed, on
+// the already-bound listener, so no port is ever released and re-bound.
+//
 // Deterministic fault injection (-drop, -dup, -reorder, -partition,
 // -crashat) wraps the outbound side of this island's endpoint with a
 // transport.Faulty layer seeded by -faultseed, so a run's fault
@@ -26,7 +39,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -62,7 +77,11 @@ type result struct {
 
 func main() {
 	self := flag.Int("self", 0, "this island's id (index into -peers)")
-	peersFlag := flag.String("peers", "", "comma-separated island addresses in id order (required)")
+	peersFlag := flag.String("peers", "", "comma-separated island addresses in id order (required unless -peersfile)")
+	listen := flag.String("listen", "", "listen address to bind eagerly (use 127.0.0.1:0 for a kernel-chosen port); default is this island's -peers entry")
+	addrFile := flag.String("addrfile", "", "publish the resolved -listen address to this file after binding")
+	peersFile := flag.String("peersfile", "", "wait for and read the id-ordered peer address list from this file instead of -peers")
+	peersWait := flag.Duration("peerswait", 30*time.Second, "how long to wait for -peersfile to appear")
 	problem := flag.String("problem", "onemax", "problem key (see pgarun -list)")
 	size := flag.Int("size", 64, "problem size")
 	pop := flag.Int("pop", 50, "population size")
@@ -87,10 +106,40 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix(fmt.Sprintf("pgaisland[%d]: ", *self))
 
-	addrs := strings.Split(*peersFlag, ",")
+	// Bind the listener before the peer list is even known: with
+	// "-listen :0" the kernel picks a free port atomically, the resolved
+	// address is published via -addrfile, and the port stays bound — the
+	// launcher can hand it to peers with no close-and-rebind race.
+	var ln net.Listener
+	if *listen != "" {
+		var err error
+		ln, err = net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *addrFile != "" {
+			if err := writeFileAtomic(*addrFile, ln.Addr().String()+"\n"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	var addrs []string
+	switch {
+	case *peersFile != "":
+		var err error
+		addrs, err = awaitPeersFile(*peersFile, *peersWait)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *peersFlag != "":
+		addrs = strings.Split(*peersFlag, ",")
+	default:
+		log.Fatal("need -peers or -peersfile")
+	}
 	n := len(addrs)
-	if *peersFlag == "" || n < 2 {
-		log.Fatal("need -peers with at least two comma-separated addresses")
+	if n < 2 {
+		log.Fatal("need at least two peer addresses")
 	}
 	if *self < 0 || *self >= n {
 		log.Fatalf("-self %d out of range for %d peers", *self, n)
@@ -110,10 +159,11 @@ func main() {
 		}
 	}
 	tcp, err := transport.NewTCP(transport.TCPConfig{
-		Self:   *self,
-		Listen: strings.TrimSpace(addrs[*self]),
-		Peers:  peers,
-		Seed:   *seed + uint64(*self),
+		Self:     *self,
+		Listen:   strings.TrimSpace(addrs[*self]),
+		Listener: ln,
+		Peers:    peers,
+		Seed:     *seed + uint64(*self),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -264,6 +314,44 @@ func parsePartition(s string) (transport.Partition, error) {
 		p.Peers = append(p.Peers, id)
 	}
 	return p, nil
+}
+
+// writeFileAtomic publishes content at path via a same-directory temp
+// file and rename, so a polling reader never observes a partial write.
+func writeFileAtomic(path, content string) error {
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// awaitPeersFile polls until path exists, then parses it as one
+// comma-separated (or newline-separated) id-ordered address list.
+func awaitPeersFile(path string, wait time.Duration) ([]string, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			var addrs []string
+			for _, f := range strings.FieldsFunc(string(data), func(r rune) bool {
+				return r == ',' || r == '\n' || r == '\r'
+			}) {
+				if f = strings.TrimSpace(f); f != "" {
+					addrs = append(addrs, f)
+				}
+			}
+			if len(addrs) > 0 {
+				return addrs, nil
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("peers file %s did not appear within %v", path, wait)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // parseCrash parses "peer:at:until".

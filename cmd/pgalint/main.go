@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	pgalint [-json] [-sarif] [-graph] [-rules] [-time] [-deadline d] [packages]
+//	pgalint [-json] [-sarif] [-graph] [-rules] [-time] [-deadline d]
+//	        [-rulebudget d] [-timemd file] [-baseline file] [packages]
 //
 // With no arguments it lints every package of the enclosing module
 // (equivalent to ./...). Package patterns are module-relative:
 // "./...", "./internal/...", "./internal/island". Exit status is 0 when
-// no findings survive suppression, 1 when there are findings (or the
-// -deadline budget is exceeded), and 2 on a load failure.
+// no findings survive suppression, 1 when there are findings (or a
+// budget is exceeded, or the suppression baseline is breached), and 2
+// on a load failure.
 //
 // -graph skips linting entirely and dumps the interprocedural call
 // graph (functions, closures, call/spawn/ref edges) as JSON — the same
@@ -19,7 +21,20 @@
 // -sarif emits findings as a SARIF 2.1.0 log for GitHub code scanning;
 // -time reports per-rule wall time on stderr; -deadline fails the run
 // when analysis (load + lint) exceeds the given budget, keeping the CI
-// gate honest about linter cost.
+// gate honest about linter cost. -rulebudget fails the run when any
+// single rule exceeds the given budget — the deadline bounds the whole
+// suite, the rule budget catches one rule quietly going quadratic.
+// -timemd appends the per-rule timing table as GitHub-flavored markdown
+// to the named file (pass "$GITHUB_STEP_SUMMARY" in CI for a job
+// summary).
+//
+// -baseline is the suppression ratchet: the named file holds the
+// checked-in count of //pgalint:ignore directives ("#" comments and
+// blank lines skipped). If the module now carries more directives than
+// the baseline the run fails — new suppressions need a reviewed
+// baseline bump, so the ignore count can only drift down silently,
+// never up. When the count drops, pgalint prints a reminder to ratchet
+// the baseline down.
 //
 // Suppress a finding with a justification comment on or directly above
 // the offending line:
@@ -34,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,8 +63,11 @@ func main() {
 	rules := flag.Bool("rules", false, "list the registered rules and exit")
 	timing := flag.Bool("time", false, "report per-rule wall time on stderr")
 	deadline := flag.Duration("deadline", 0, "fail if load+lint exceeds this duration (0 = no budget)")
+	ruleBudget := flag.Duration("rulebudget", 0, "fail if any single rule exceeds this duration (0 = no budget)")
+	timeMD := flag.String("timemd", "", "append the per-rule timing table as markdown to this file")
+	baseline := flag.String("baseline", "", "suppression-ratchet file: fail if //pgalint:ignore count exceeds it")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pgalint [-json] [-sarif] [-graph] [-rules] [-time] [-deadline d] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: pgalint [-json] [-sarif] [-graph] [-rules] [-time] [-deadline d] [-rulebudget d] [-timemd file] [-baseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -100,6 +119,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pgalint: %-14s %8.1fms (load + lint)\n",
 			"total", float64(time.Since(start))/1e6)
 	}
+	if *timeMD != "" {
+		if err := writeTimingMarkdown(*timeMD, timings, time.Since(start), *ruleBudget); err != nil {
+			fatal(err)
+		}
+	}
 
 	switch {
 	case *sarifOut:
@@ -137,9 +161,86 @@ func main() {
 			failed = true
 		}
 	}
+	if *ruleBudget > 0 {
+		for _, rt := range timings {
+			if d := time.Duration(rt.Nanos); d > *ruleBudget {
+				fmt.Fprintf(os.Stderr, "pgalint: rule %s took %v, over the %v per-rule budget\n",
+					rt.Rule, d.Round(time.Millisecond), *ruleBudget)
+				failed = true
+			}
+		}
+	}
+	if *baseline != "" {
+		if err := checkBaseline(*baseline, analysis.CountIgnoreDirectives(pkgs)); err != nil {
+			fmt.Fprintf(os.Stderr, "pgalint: %v\n", err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeTimingMarkdown appends the per-rule timing table to path as a
+// GitHub-flavored markdown table (the CI job points this at
+// $GITHUB_STEP_SUMMARY). Rows over the per-rule budget are flagged.
+func writeTimingMarkdown(path string, timings []analysis.RuleTiming, total, budget time.Duration) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b strings.Builder
+	b.WriteString("### pgalint timing\n\n| rule | wall time | budget |\n|---|---:|---|\n")
+	for _, rt := range timings {
+		status := ""
+		if budget > 0 {
+			status = "ok"
+			if time.Duration(rt.Nanos) > budget {
+				status = fmt.Sprintf("**over %v**", budget)
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %.1fms | %s |\n", rt.Rule, float64(rt.Nanos)/1e6, status)
+	}
+	fmt.Fprintf(&b, "| **total (load + lint)** | %.1fms | |\n\n", float64(total)/1e6)
+	_, err = f.WriteString(b.String())
+	return err
+}
+
+// checkBaseline enforces the suppression ratchet: the count of
+// //pgalint:ignore directives in the linted packages must not exceed
+// the integer recorded in the baseline file. Growth fails the run;
+// shrinkage earns a reminder to ratchet the recorded count down.
+func checkBaseline(path string, count int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	recorded := -1
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, err := strconv.Atoi(line)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %q is not an integer", path, line)
+		}
+		recorded = n
+		break
+	}
+	if recorded < 0 {
+		return fmt.Errorf("baseline %s: no count found", path)
+	}
+	switch {
+	case count > recorded:
+		return fmt.Errorf("suppression ratchet: %d //pgalint:ignore directive(s), baseline allows %d — fix the findings or bump %s with review",
+			count, recorded, path)
+	case count < recorded:
+		fmt.Fprintf(os.Stderr, "pgalint: note: %d //pgalint:ignore directive(s), baseline allows %d — ratchet %s down\n",
+			count, recorded, path)
+	}
+	return nil
 }
 
 // filterPackages selects the module packages matching the command-line

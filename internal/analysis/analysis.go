@@ -105,13 +105,22 @@ func Registry() []*Analyzer {
 		NoWallClock(),
 		BlockingSend(),
 		SharedRNG(),
-		CtxLeak(),
+		GoroLeak(),
 		HiddenAlloc(),
 		RngFlow(),
 		Purity(),
 		ChanTopo(),
+		LockOrder(),
+		BoundedRes(),
+		WaitGroupMisuse(),
 	}
 }
+
+// ruleAliases maps retired rule names to their successors: a directive
+// naming the retired rule keeps suppressing the successor's findings, so
+// existing //pgalint:ignore comments survive rule renames (ctxleak was
+// subsumed by goroleak in PR 7).
+var ruleAliases = map[string]string{"ctxleak": "goroleak"}
 
 // ignoreDirective is the comment prefix of a suppression.
 const ignoreDirective = "pgalint:ignore"
@@ -163,14 +172,26 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 	return idx
 }
 
-// suppressed reports whether rule is ignored at the given position.
+// suppressed reports whether rule is ignored at the given position,
+// honoring retired-rule aliases.
 func (idx ignoreIndex) suppressed(pos token.Position, rule string) bool {
 	m := idx[pos.Filename]
 	if m == nil {
 		return false
 	}
 	set := m[pos.Line]
-	return set != nil && (set[rule] || set["all"])
+	if set == nil {
+		return false
+	}
+	if set[rule] || set["all"] {
+		return true
+	}
+	for retired, successor := range ruleAliases {
+		if successor == rule && set[retired] {
+			return true
+		}
+	}
+	return false
 }
 
 // RunAnalyzers executes every analyzer over every package and returns the
@@ -304,6 +325,26 @@ func checkIgnoreJustifications(root string, pkg *Package) []Diagnostic {
 		}
 	}
 	return diags
+}
+
+// CountIgnoreDirectives counts the //pgalint:ignore directives across
+// pkgs — the metric behind the suppression ratchet (`pgalint -baseline`):
+// the count may only grow by touching the checked-in baseline in review.
+func CountIgnoreDirectives(pkgs []*Package) int {
+	count := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if strings.HasPrefix(text, ignoreDirective) {
+						count++
+					}
+				}
+			}
+		}
+	}
+	return count
 }
 
 // relPath makes path relative to root, falling back to the original.

@@ -36,9 +36,24 @@ var fixturePkgPaths = map[string]string{
 	"chantopo_bad.go":     "pga/internal/p2p",
 	"chantopo_ok.go":      "pga/internal/island",
 	"bareignore.go":       "pga/internal/ga",
+	"goroleak_x.go":       "pga/internal/cluster",
+	"goroleak_alias.go":   "pga/internal/cluster",
+	"lockorder_bad.go":    "pga/internal/lockfix",
+	"lockorder_ok.go":     "pga/internal/lockfix",
+	"lockorder_x.go":      "pga/internal/lockfix",
+	"boundedres_bad.go":   "pga/internal/transport",
+	"boundedres_ok.go":    "pga/internal/transport",
+	"boundedres_x.go":     "pga/internal/transport",
+	"waitgroup_bad.go":    "pga/internal/farm",
+	"waitgroup_ok.go":     "pga/internal/farm",
+	"waitgroup_x.go":      "pga/internal/farm",
 	"auxrng.go":           "pga/internal/fixrng",
 	"auxchan.go":          "pga/internal/chanutil",
 	"auxrand.go":          "pga/internal/jitter",
+	"auxlock.go":          "pga/internal/lockutil",
+	"auxgrow.go":          "pga/internal/growq",
+	"auxwg.go":            "pga/internal/wgutil",
+	"auxjoin.go":          "pga/internal/joinutil",
 }
 
 // fixtureGroups lists the aux fixtures a fixture imports; they are
@@ -50,6 +65,10 @@ var fixtureGroups = map[string][]string{
 	"purity_ok.go":       {"auxrng.go"},
 	"chantopo_bad.go":    {"auxchan.go"},
 	"norawrand_chain.go": {"auxrand.go"},
+	"goroleak_x.go":      {"auxjoin.go"},
+	"lockorder_x.go":     {"auxlock.go"},
+	"boundedres_x.go":    {"auxgrow.go"},
+	"waitgroup_x.go":     {"auxwg.go"},
 }
 
 // The fixture loader shares one file set, one stdlib source importer and

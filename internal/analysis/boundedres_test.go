@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+func TestBoundedRes(t *testing.T) {
+	for _, fixture := range []string{
+		"boundedres_bad.go",
+		"boundedres_ok.go",
+		"boundedres_x.go",
+	} {
+		t.Run(fixture, func(t *testing.T) {
+			checkRule(t, BoundedRes(), fixture)
+		})
+	}
+}
+
+// TestBoundedResScope: the same seeded violations are silent outside the
+// scoped communication packages.
+func TestBoundedResScope(t *testing.T) {
+	pkg := loadFixtureAs(t, "boundedres_bad.go", "pga/internal/operators")
+	diags := RunAnalyzers("", []*Package{pkg}, []*Analyzer{BoundedRes()})
+	if len(diags) != 0 {
+		t.Fatalf("boundedres fired outside its scope: %v", diags)
+	}
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import "testing"
+
+func TestLockOrder(t *testing.T) {
+	for _, fixture := range []string{
+		"lockorder_bad.go",
+		"lockorder_ok.go",
+		"lockorder_x.go",
+	} {
+		t.Run(fixture, func(t *testing.T) {
+			checkRule(t, LockOrder(), fixture)
+		})
+	}
+}
+
+// TestLockOrderCycleIsUniquelyCaught pins the acceptance criterion that
+// the seeded deadlock cycle is invisible to every other rule: running
+// the full registry minus lockorder over the cycle fixture must report
+// nothing at all.
+func TestLockOrderCycleIsUniquelyCaught(t *testing.T) {
+	var others []*Analyzer
+	for _, a := range Registry() {
+		if a.Name != "lockorder" {
+			others = append(others, a)
+		}
+	}
+	diags := RunAnalyzers("", fixtureGroupPkgs(t, "lockorder_bad.go"), others)
+	for _, d := range diags {
+		t.Errorf("rule %s also fires on the lockorder fixture: %s", d.Rule, d)
+	}
+	if got := runFixture(t, LockOrder(), "lockorder_bad.go"); len(got) == 0 {
+		t.Fatal("lockorder itself reported nothing on its seeded fixture")
+	}
+}

@@ -22,6 +22,13 @@ package analysis
 //     receive from. A channel is identified by the parameter carrying it,
 //     or by the variable/struct-field object — the field-level
 //     abstraction chantopo builds its topology on.
+//   - concurrency facts: is the function joinable (Joins: it reaches a
+//     channel receive, select, wg.Done or close — evidence a spawner can
+//     unblock it), which mutexes it may acquire (Acquires, for lockorder's
+//     interprocedural held-set product), which WaitGroups it Adds to
+//     (WGAdds, for waitgroup's spawned-Add check), and which slices it
+//     grows via append (Grows, for boundedres). These reuse the ChanFact
+//     identity abstraction: a parameter index, or the var/field object.
 //
 // Direct facts cover the body excluding nested closures (each closure is
 // its own node); propagation folds callee facts in along call-graph
@@ -37,6 +44,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 )
 
 // maxTrackedParams bounds the parameter bitsets.
@@ -47,6 +56,9 @@ const maxChanFacts = 64
 
 // maxDrawSites bounds the recorded draw positions per variable.
 const maxDrawSites = 16
+
+// maxLockEdges bounds the same-body lock-order edges recorded per node.
+const maxLockEdges = 64
 
 // ChanFact is one channel endpoint a function may use.
 type ChanFact struct {
@@ -88,6 +100,58 @@ type Summary struct {
 	// Channel endpoints. Sends holds only may-block sends.
 	Sends []ChanFact
 	Recvs []ChanFact
+
+	// Joins reports that the function reaches a blocking operation a
+	// spawner can unblock from outside: a channel receive or range, a
+	// select, a WaitGroup.Done, or a close. Propagated over call and ref
+	// edges only — a goroutine's joinability cannot come from something
+	// it merely spawns.
+	Joins bool
+
+	// Acquires lists the mutexes this function (or anything it calls) may
+	// lock; lockorder crosses these with the caller's held set.
+	Acquires []ChanFact
+
+	// WGAdds lists WaitGroup counters this function (or its callees) may
+	// Add to; waitgroup flags these when reached through a spawn edge.
+	WGAdds []ChanFact
+
+	// Grows lists slices grown by append without a reserving make;
+	// boundedres flags field/global growth in hot packages.
+	Grows []ChanFact
+
+	// Direct-only facts (never propagated; shared across clone — the rules
+	// read them via Facts.Direct):
+	lockEvents []lockEvent                     // ordered acquire/release/return/panic trace
+	lockEdges  []lockEdge                      // same-body nested acquisitions
+	heldAtCall map[*ast.CallExpr][]types.Object // locks lexically held at each call site
+	wgWaits    []ChanFact                      // WaitGroup.Wait sites
+}
+
+// lockEventKind enumerates the events of the lexical lock walk.
+type lockEventKind int
+
+const (
+	evAcquire lockEventKind = iota
+	evRelease
+	evDeferRelease
+	evReturn
+	evPanic
+)
+
+// lockEvent is one entry in a body's ordered lock trace.
+type lockEvent struct {
+	kind lockEventKind
+	obj  types.Object // lock identity for acquire/release; nil otherwise
+	read bool         // RLock/RUnlock
+	pos  token.Pos
+}
+
+// lockEdge records that to was acquired while from was held, at pos (the
+// inner acquisition site).
+type lockEdge struct {
+	from, to types.Object
+	pos      token.Pos
 }
 
 // ParamIndex returns v's unified parameter index in this summary, or -1.
@@ -199,6 +263,9 @@ func (s *Summary) clone() *Summary {
 	c.CapturedMutates = cloneVarSet(s.CapturedMutates)
 	c.Sends = append([]ChanFact(nil), s.Sends...)
 	c.Recvs = append([]ChanFact(nil), s.Recvs...)
+	c.Acquires = append([]ChanFact(nil), s.Acquires...)
+	c.WGAdds = append([]ChanFact(nil), s.WGAdds...)
+	c.Grows = append([]ChanFact(nil), s.Grows...)
 	return &c
 }
 
@@ -470,8 +537,12 @@ func (f *Facts) mergeEdge(dst, src *Summary, e *Edge) bool {
 
 	// Channel facts do not cross spawn edges: a spawned goroutine's
 	// blocking send cannot block its spawner. chantopo instantiates
-	// spawned bodies at the go statement itself.
+	// spawned bodies at the go statement itself. The same holds for the
+	// concurrency facts: a spawned goroutine's locks, Adds and appends
+	// happen on its own stack, and joinability is never inherited from a
+	// child goroutine.
 	if !spawn {
+		or(&dst.Joins, src.Joins)
 		for _, cf := range src.Sends {
 			if out, ok := f.substituteChan(dst, src, e, cf); ok && addChanFact(&dst.Sends, out) {
 				changed = true
@@ -479,6 +550,21 @@ func (f *Facts) mergeEdge(dst, src *Summary, e *Edge) bool {
 		}
 		for _, cf := range src.Recvs {
 			if out, ok := f.substituteChan(dst, src, e, cf); ok && addChanFact(&dst.Recvs, out) {
+				changed = true
+			}
+		}
+		for _, cf := range src.Acquires {
+			if out, ok := f.substituteRef(dst, src, e, cf); ok && addChanFact(&dst.Acquires, out) {
+				changed = true
+			}
+		}
+		for _, cf := range src.WGAdds {
+			if out, ok := f.substituteRef(dst, src, e, cf); ok && addChanFact(&dst.WGAdds, out) {
+				changed = true
+			}
+		}
+		for _, cf := range src.Grows {
+			if out, ok := f.substituteRef(dst, src, e, cf); ok && addChanFact(&dst.Grows, out) {
 				changed = true
 			}
 		}
@@ -508,6 +594,53 @@ func (f *Facts) substituteChan(dst, src *Summary, e *Edge, cf ChanFact) (ChanFac
 		}
 	}
 	return ChanFact{Param: -1, Obj: obj, Pos: cf.Pos}, true
+}
+
+// substituteRef rebinds a lock/WaitGroup/slice fact into the caller's
+// frame. Unlike channels these are usually passed by address (&s.mu,
+// &b.items), so the argument is unwrapped through &, * and parens before
+// resolving its identity.
+func (f *Facts) substituteRef(dst, src *Summary, e *Edge, cf ChanFact) (ChanFact, bool) {
+	if cf.Param < 0 {
+		return cf, true // concrete identity survives as-is
+	}
+	if e.Site == nil {
+		return ChanFact{}, false // unbound parameter through a ref edge
+	}
+	arg := calleeArg(e, src, cf.Param)
+	if arg == nil {
+		return ChanFact{}, false
+	}
+	obj := refIdentOf(e.Caller.Pkg.Info, arg)
+	if obj == nil {
+		return ChanFact{}, false
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if i := dst.ParamIndex(v); i >= 0 {
+			return ChanFact{Param: i, Pos: cf.Pos}, true
+		}
+	}
+	return ChanFact{Param: -1, Obj: obj, Pos: cf.Pos}, true
+}
+
+// refIdentOf resolves a by-reference expression (&s.mu, *dst, wg) to its
+// identity object, sharing chanIdentOf's field-level abstraction.
+func refIdentOf(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch x := expr.(type) {
+		case *ast.ParenExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			expr = x.X
+		default:
+			return chanIdentOf(info, expr)
+		}
+	}
 }
 
 // calleeArg returns the caller-side expression bound to the callee's
@@ -660,6 +793,7 @@ func computeDirect(n *Node) *Summary {
 			directSelector(s, info, x)
 		case *ast.CallExpr:
 			directCall(s, info, x, presized)
+			directConcurrency(s, info, x)
 		case *ast.AssignStmt:
 			for _, lhs := range x.Lhs {
 				directWrite(s, info, lhs, x.Tok != token.ASSIGN && x.Tok != token.DEFINE)
@@ -672,8 +806,13 @@ func computeDirect(n *Node) *Summary {
 					addChanFact(&s.Sends, cf)
 				}
 			}
+		case *ast.SelectStmt:
+			// A select is joinability evidence even when it only sends:
+			// an escape case (or default) is the whole point of selecting.
+			s.Joins = true
 		case *ast.UnaryExpr:
 			if x.Op == token.ARROW {
+				s.Joins = true
 				if cf, ok := chanFactOf(s, info, x.X, x.Pos()); ok {
 					addChanFact(&s.Recvs, cf)
 				}
@@ -682,6 +821,7 @@ func computeDirect(n *Node) *Summary {
 			if info != nil {
 				if t, ok := info.Types[x.X]; ok {
 					if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+						s.Joins = true
 						if cf, ok := chanFactOf(s, info, x.X, x.Pos()); ok {
 							addChanFact(&s.Recvs, cf)
 						}
@@ -691,6 +831,7 @@ func computeDirect(n *Node) *Summary {
 		}
 		return true
 	})
+	computeLockFacts(s, info, body)
 	return s
 }
 
@@ -743,6 +884,9 @@ func directCall(s *Summary, info *types.Info, call *ast.CallExpr, presized map[*
 			}
 			if root != nil {
 				recordMutation(s, root, call.Pos(), drawSync)
+				if !presized[root] {
+					recordGrow(s, info, call.Args[0], call.Pos())
+				}
 			}
 		case "copy":
 			if len(call.Args) == 2 {
@@ -918,6 +1062,278 @@ func presizedVars(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
 		return true
 	})
 	return out
+}
+
+// directConcurrency records joinability evidence and WaitGroup facts for
+// one call expression: close(ch) and wg.Done join, wg.Add/wg.Wait feed
+// the waitgroup rule.
+func directConcurrency(s *Summary, info *types.Info, call *ast.CallExpr) {
+	if isBuiltinCloseCall(info, call) {
+		s.Joins = true
+		return
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Done", "Add", "Wait":
+	default:
+		return
+	}
+	if !isWaitGroupRecv(info, sel) {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Done":
+		s.Joins = true
+	case "Add":
+		if cf, ok := refFactOf(s, info, sel.X, call.Pos()); ok {
+			addChanFact(&s.WGAdds, cf)
+		}
+	case "Wait":
+		if cf, ok := refFactOf(s, info, sel.X, call.Pos()); ok {
+			addChanFact(&s.wgWaits, cf)
+		}
+	}
+}
+
+// recordGrow files an unreserved append as a growth fact when its target
+// is visible beyond the body: a parameter, struct field, package-level
+// var, or captured outer var. Purely local growth is not a fact.
+func recordGrow(s *Summary, info *types.Info, expr ast.Expr, pos token.Pos) {
+	obj := refIdentOf(info, expr)
+	if obj == nil {
+		return
+	}
+	if v, ok := obj.(*types.Var); ok {
+		idx, class := s.classOf(v)
+		switch class {
+		case classParam:
+			addChanFact(&s.Grows, ChanFact{Param: idx, Pos: pos})
+			return
+		case classLocal:
+			if !v.IsField() {
+				return
+			}
+		}
+	}
+	addChanFact(&s.Grows, ChanFact{Param: -1, Obj: obj, Pos: pos})
+}
+
+// refFactOf resolves a by-reference expression into a fact relative to s
+// (the &/* unwrapping counterpart of chanFactOf).
+func refFactOf(s *Summary, info *types.Info, expr ast.Expr, pos token.Pos) (ChanFact, bool) {
+	obj := refIdentOf(info, expr)
+	if obj == nil {
+		return ChanFact{}, false
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if i := s.ParamIndex(v); i >= 0 {
+			return ChanFact{Param: i, Pos: pos}, true
+		}
+	}
+	return ChanFact{Param: -1, Obj: obj, Pos: pos}, true
+}
+
+// isSyncType reports whether t (possibly behind a pointer) is the named
+// sync.<name> type.
+func isSyncType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isWaitGroupRecv reports whether sel's receiver is a sync.WaitGroup.
+// Without type info it falls back to the wg/group naming convention.
+func isWaitGroupRecv(info *types.Info, sel *ast.SelectorExpr) bool {
+	if info != nil {
+		if selection, ok := info.Selections[sel]; ok {
+			return isSyncType(selection.Recv(), "WaitGroup")
+		}
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && (id.Name == "wg" || id.Name == "group")
+}
+
+// isBuiltinCloseCall reports whether call is the builtin close.
+func isBuiltinCloseCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	if info != nil {
+		if obj, ok := info.Uses[id]; ok {
+			_, builtin := obj.(*types.Builtin)
+			return builtin
+		}
+	}
+	return true
+}
+
+// lockMethod classifies call as a sync.Mutex/RWMutex acquisition or
+// release and returns the lock's identity object. Promoted methods of an
+// embedded mutex identify the lock with the embedding value.
+func lockMethod(info *types.Info, call *ast.CallExpr) (types.Object, string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	if info != nil {
+		if selection, ok := info.Selections[sel]; ok {
+			recv := selection.Recv()
+			if !isSyncType(recv, "Mutex") && !isSyncType(recv, "RWMutex") {
+				// Promoted or interface method: require the method itself
+				// to belong to package sync (sync.Locker counts).
+				fn, okf := info.Uses[sel.Sel].(*types.Func)
+				if !okf || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+					return nil, "", false
+				}
+			}
+			obj := refIdentOf(info, sel.X)
+			if obj == nil {
+				return nil, "", false
+			}
+			return obj, name, true
+		}
+	}
+	// Degraded mode: accept the mu/lock naming convention.
+	obj := refIdentOf(info, sel.X)
+	if obj == nil || !lockishName(obj.Name()) {
+		return nil, "", false
+	}
+	return obj, name, true
+}
+
+// lockishName reports whether a variable name follows the mutex naming
+// convention — the degraded-mode stand-in for receiver types.
+func lockishName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "mu") || strings.Contains(lower, "lock")
+}
+
+// computeLockFacts runs the lexical lock walk over body (excluding nested
+// closures): it collects the ordered lock-event trace, the held set at
+// every call site, the same-body lock-order edges, and the Acquires
+// facts. The scan is lexical — an under-approximation around branches,
+// which is the linter's usual optimism: it misses some paths but never
+// invents a held lock.
+func computeLockFacts(s *Summary, info *types.Info, body *ast.BlockStmt) {
+	type callSite struct {
+		call *ast.CallExpr
+		pos  token.Pos
+	}
+	var events []lockEvent
+	var calls []callSite
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, n)
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			events = append(events, lockEvent{kind: evReturn, pos: x.Pos()})
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				events = append(events, lockEvent{kind: evPanic, pos: x.Pos()})
+				return true
+			}
+			obj, name, ok := lockMethod(info, x)
+			if !ok {
+				calls = append(calls, callSite{call: x, pos: x.Pos()})
+				return true
+			}
+			switch name {
+			case "Lock", "RLock":
+				events = append(events, lockEvent{
+					kind: evAcquire, obj: obj, read: name == "RLock", pos: x.Pos(),
+				})
+			case "Unlock", "RUnlock":
+				kind := evRelease
+				if len(stack) >= 2 {
+					if _, deferred := stack[len(stack)-2].(*ast.DeferStmt); deferred {
+						kind = evDeferRelease
+					}
+				}
+				events = append(events, lockEvent{
+					kind: kind, obj: obj, read: name == "RUnlock", pos: x.Pos(),
+				})
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	sort.Slice(calls, func(i, j int) bool { return calls[i].pos < calls[j].pos })
+
+	// Linear scan: maintain the held stack, record order edges, held sets
+	// at call sites, and the acquisition facts.
+	var held []types.Object
+	recordHeld := func(cs callSite) {
+		if len(held) == 0 {
+			return
+		}
+		if s.heldAtCall == nil {
+			s.heldAtCall = map[*ast.CallExpr][]types.Object{}
+		}
+		s.heldAtCall[cs.call] = append([]types.Object(nil), held...)
+	}
+	ci := 0
+	for _, ev := range events {
+		for ci < len(calls) && calls[ci].pos < ev.pos {
+			recordHeld(calls[ci])
+			ci++
+		}
+		switch ev.kind {
+		case evAcquire:
+			for _, h := range held {
+				if len(s.lockEdges) < maxLockEdges {
+					s.lockEdges = append(s.lockEdges, lockEdge{from: h, to: ev.obj, pos: ev.pos})
+				}
+			}
+			held = append(held, ev.obj)
+			if v, ok := ev.obj.(*types.Var); ok {
+				if i := s.ParamIndex(v); i >= 0 {
+					addChanFact(&s.Acquires, ChanFact{Param: i, Pos: ev.pos})
+					continue
+				}
+			}
+			addChanFact(&s.Acquires, ChanFact{Param: -1, Obj: ev.obj, Pos: ev.pos})
+		case evRelease:
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == ev.obj {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+			// evDeferRelease keeps the lock held: a deferred unlock covers
+			// the rest of the body, so nested acquisitions below it really
+			// do happen under the lock.
+		}
+	}
+	for ; ci < len(calls); ci++ {
+		recordHeld(calls[ci])
+	}
+	s.lockEvents = events
 }
 
 // infoOf returns the node's package type info (possibly nil on hard

@@ -1,0 +1,11 @@
+// Package growq is a fixture helper: an innocent-looking push API whose
+// append grows the caller's backing slice through a pointer parameter.
+// growq itself is outside boundedres scope — the finding fires only when
+// a scoped caller (boundedres_x.go) binds a hot struct field to dst, and
+// it surfaces here at the real growth site. Checked as pga/internal/growq.
+package growq
+
+// Push appends v through the slice pointer.
+func Push(dst *[]int, v int) {
+	*dst = append(*dst, v) // want boundedres
+}

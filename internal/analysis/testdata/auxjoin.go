@@ -1,0 +1,21 @@
+// Package joinutil is a fixture helper for goroleak's interprocedural
+// reach: WaitFor carries the joinability evidence (a channel receive)
+// that a spawn site two packages away relies on; Busy has none. Checked
+// as pga/internal/joinutil.
+package joinutil
+
+// N is the helper's observable side effect.
+var N int
+
+// WaitFor blocks until done closes — the joinable worker body.
+func WaitFor(done <-chan struct{}) {
+	<-done
+	N++
+}
+
+// Busy spins with no exit evidence: no receive, select, Done or close.
+func Busy() {
+	for i := 0; i < 1000; i++ {
+		N++
+	}
+}

@@ -1,0 +1,31 @@
+// Package lockutil is a fixture helper: two exported locks, an ordered
+// pair helper and a single-lock helper. The want markers here fire only
+// when a caller package (lockorder_x.go) seeds the reverse order — on
+// its own this package is acyclic. Checked as pga/internal/lockutil.
+package lockutil
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+	N   int
+)
+
+// OrderedAB takes the canonical A→B order.
+func OrderedAB() {
+	MuA.Lock()
+	defer MuA.Unlock()
+	MuB.Lock() // want lockorder
+	defer MuB.Unlock()
+	N++
+}
+
+// LockA bumps N under MuA alone; it has no lock order of its own. The
+// finding lands here when a caller holding MuB reaches this acquisition
+// through the call chain.
+func LockA() {
+	MuA.Lock() // want lockorder
+	defer MuA.Unlock()
+	N++
+}

@@ -1,0 +1,13 @@
+// Package wgutil is a fixture helper: Register hides a WaitGroup.Add
+// behind a call. Legitimate when invoked on the spawning side; the want
+// marker fires only when a spawned goroutine (waitgroup_x.go) reaches
+// it, via the parameter-indexed WGAdds fact bound at the spawn site.
+// Checked as pga/internal/wgutil.
+package wgutil
+
+import "sync"
+
+// Register adds one unit of work to wg.
+func Register(wg *sync.WaitGroup) {
+	wg.Add(1) // want waitgroup
+}

@@ -1,0 +1,24 @@
+package fixture
+
+// Seeded violations for boundedres: a rendezvous channel and unreserved
+// append growth on a struct field and a package-level slice — the
+// unbounded-buffering patterns the transport's drop-oldest contract
+// forbids. Checked as pga/internal/transport.
+
+type peerQueue struct {
+	items []int
+}
+
+var backlog []string
+
+func newRendezvous() chan int {
+	return make(chan int) // want boundedres
+}
+
+func (q *peerQueue) push(v int) {
+	q.items = append(q.items, v) // want boundedres
+}
+
+func record(ev string) {
+	backlog = append(backlog, ev) // want boundedres
+}

@@ -1,0 +1,32 @@
+package fixture
+
+// Corrected fixtures for boundedres: explicit channel capacity, a
+// close-only signal channel, a reserving make before append, and a
+// fixed-capacity ring that overwrites instead of growing. Checked as
+// pga/internal/transport.
+
+type ring struct {
+	buf  []int
+	head int
+}
+
+func newBuffered(depth int) chan int {
+	return make(chan int, depth)
+}
+
+func newSignal() chan struct{} {
+	return make(chan struct{}) // close-only signal channels are exempt
+}
+
+func gather(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func (r *ring) push(v int) {
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+}

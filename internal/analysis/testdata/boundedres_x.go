@@ -1,0 +1,17 @@
+package fixture
+
+// Cross-package fixture for boundedres: the per-peer queue grows through
+// a helper in another package. Push's growth fact is parameter-indexed;
+// the call-site substitution binds &b.pending to it, so the hot caller
+// is charged and the diagnostic lands at the append inside growq.
+// Checked as pga/internal/transport.
+
+import growq "pga/internal/growq"
+
+type batch struct {
+	pending []int
+}
+
+func (b *batch) enqueue(v int) {
+	growq.Push(&b.pending, v)
+}

@@ -1,12 +1,12 @@
 package fixture
 
-// Seeded violation fixture for ctxleak: fire-and-forget goroutines with
+// Seeded violation fixture for goroleak (historically ctxleak — the parity test pins these lines): fire-and-forget goroutines with
 // no join and no cancellation path.
 
 var sink int
 
 func fireAndForget(n int) {
-	go func() { // want ctxleak
+	go func() { // want goroleak
 		sink = n
 	}()
 }
@@ -18,5 +18,5 @@ func spin() {
 }
 
 func spawnNamed() {
-	go spin() // want ctxleak
+	go spin() // want goroleak
 }

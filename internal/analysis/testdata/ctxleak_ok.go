@@ -1,6 +1,6 @@
 package fixture
 
-// Corrected fixture for ctxleak: goroutines that are joinable
+// Corrected fixture for goroleak: goroutines that are joinable
 // (WaitGroup) or cancellable (ctx/done channel, channel drain).
 
 import (

@@ -1,0 +1,14 @@
+package fixture
+
+// Alias fixture: this legacy directive names the retired ctxleak rule
+// and must keep suppressing its successor goroleak — the alias test
+// asserts zero surviving diagnostics. Checked as pga/internal/cluster.
+
+var background int
+
+func legacySuppressed() {
+	//pgalint:ignore ctxleak fire-and-forget telemetry bump; process exit reaps it
+	go func() {
+		background++
+	}()
+}

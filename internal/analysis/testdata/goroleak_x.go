@@ -1,0 +1,27 @@
+package fixture
+
+// Cross-package fixture for goroleak: the spawned functions live in
+// another package, so the local-only retired ctxleak could never judge
+// them — joinability is read off the interprocedural summary. WaitFor
+// receives (joinable); Busy has no termination evidence. A delegating
+// wrapper shows the Joins bit propagating over a call edge. Checked as
+// pga/internal/cluster.
+
+import joinutil "pga/internal/joinutil"
+
+func pumpViaHelper(done <-chan struct{}) {
+	go joinutil.WaitFor(done)
+}
+
+func leakViaHelper() {
+	go joinutil.Busy() // want goroleak
+}
+
+// delegate is joinable only through its callee.
+func delegate(done <-chan struct{}) {
+	joinutil.WaitFor(done)
+}
+
+func spawnDelegate(done <-chan struct{}) {
+	go delegate(done)
+}

@@ -1,0 +1,59 @@
+package fixture
+
+// Seeded violations for lockorder: an A→B / B→A acquisition-order cycle
+// (the deadlock no other rule can see), unlock-path escapes, and a
+// recursive re-lock. Checked as pga/internal/lockfix.
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	n   int
+)
+
+func lockAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock() // want lockorder
+	defer muB.Unlock()
+	n++
+}
+
+func lockBA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock() // want lockorder
+	defer muA.Unlock()
+	n++
+}
+
+func neverReleased() {
+	muA.Lock() // want lockorder
+	n++
+}
+
+func earlyReturn(flag bool) {
+	muA.Lock() // want lockorder
+	if flag {
+		n++
+		return
+	}
+	muA.Unlock()
+}
+
+func panicEscape() {
+	muB.Lock() // want lockorder
+	if n > 0 {
+		panic("bad state under lock")
+	}
+	muB.Unlock()
+}
+
+func relock() {
+	muA.Lock()
+	defer muA.Unlock()
+	muA.Lock() // want lockorder
+	defer muA.Unlock()
+	n++
+}

@@ -1,0 +1,60 @@
+package fixture
+
+// Corrected fixtures for lockorder: one global acquisition order (held
+// both directly and through a helper), deferred unlocks, an explicit
+// unlock-before-return, and RWMutex reader/writer pairs. Checked as
+// pga/internal/lockfix.
+
+import "sync"
+
+var (
+	first  sync.Mutex
+	second sync.Mutex
+	rw     sync.RWMutex
+	state  int
+)
+
+func bothDirect() {
+	first.Lock()
+	defer first.Unlock()
+	second.Lock()
+	defer second.Unlock()
+	state++
+}
+
+// bothViaHelper takes the same first→second order, but the inner
+// acquisition is a call away — the interprocedural edge must agree
+// with bothDirect's, not conflict.
+func bothViaHelper() {
+	first.Lock()
+	defer first.Unlock()
+	underSecond()
+}
+
+func underSecond() {
+	second.Lock()
+	defer second.Unlock()
+	state++
+}
+
+func unlockBeforeReturn(flag bool) {
+	first.Lock()
+	if flag {
+		state++
+		first.Unlock()
+		return
+	}
+	first.Unlock()
+}
+
+func reader() int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return state
+}
+
+func writer() {
+	rw.Lock()
+	defer rw.Unlock()
+	state++
+}

@@ -1,0 +1,29 @@
+package fixture
+
+// Cross-package fixture for lockorder: this file seeds the reverse of
+// lockutil's canonical MuA→MuB order, once directly and once through a
+// helper call — the second edge exists only interprocedurally, via the
+// held set at the call site crossed with LockA's propagated Acquires.
+// Checked as pga/internal/lockfix.
+
+import lockutil "pga/internal/lockutil"
+
+var counter int
+
+func crossDirect() {
+	lockutil.MuB.Lock()
+	defer lockutil.MuB.Unlock()
+	lockutil.MuA.Lock() // want lockorder
+	defer lockutil.MuA.Unlock()
+	counter++
+}
+
+// crossCall holds MuB and lets the helper take MuA: the B→A edge is
+// invisible to any per-function walk, and the finding surfaces at the
+// acquisition site inside lockutil.LockA.
+func crossCall() {
+	lockutil.MuB.Lock()
+	defer lockutil.MuB.Unlock()
+	lockutil.LockA()
+	counter++
+}

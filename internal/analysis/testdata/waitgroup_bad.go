@@ -1,0 +1,29 @@
+package fixture
+
+// Seeded violations for waitgroup: Add executed on the spawned side
+// (races the reaping Wait) and Add after Wait on the same counter.
+// Checked as pga/internal/farm.
+
+import "sync"
+
+var work int
+
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want waitgroup
+		defer wg.Done()
+		work++
+	}()
+	wg.Wait()
+}
+
+func addAfterWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); work++ }()
+	wg.Wait()
+	wg.Add(1) // want waitgroup
+	go func() { defer wg.Done(); work++ }()
+	wg.Wait()
+}

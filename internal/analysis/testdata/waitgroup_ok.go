@@ -1,0 +1,27 @@
+package fixture
+
+// Corrected fixtures for waitgroup: Add on the spawning side before the
+// go statement, and a fresh WaitGroup per batch instead of reusing the
+// counter across Waits. Checked as pga/internal/farm.
+
+import "sync"
+
+var done int
+
+func addBeforeSpawn() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); done++ }()
+	}
+	wg.Wait()
+}
+
+func freshPerBatch(batches int) {
+	for b := 0; b < batches; b++ {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { defer wg.Done(); done++ }()
+		wg.Wait()
+	}
+}

@@ -1,0 +1,25 @@
+package fixture
+
+// Cross-package fixture for waitgroup: the spawned goroutine's Add is
+// two frames away inside wgutil.Register. The closure's propagated
+// WGAdds carries the helper's parameter fact; spawn-site substitution
+// binds it to this wg, and the finding lands at the Add inside wgutil.
+// Checked as pga/internal/farm.
+
+import (
+	"sync"
+
+	wgutil "pga/internal/wgutil"
+)
+
+var processed int
+
+func spawnRegistering() {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done()
+		wgutil.Register(&wg)
+		processed++
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,113 @@
+package analysis
+
+// waitgroup: sync.WaitGroup counter discipline.
+//
+// Two misuse patterns, both races on the counter:
+//
+//   - Add inside the spawned goroutine. wg.Add must happen-before the
+//     wg.Wait that reaps the goroutine; an Add executed on the spawned
+//     side races Wait — if Wait runs first it sees a zero counter and
+//     returns while the worker is still alive. The check is
+//     interprocedural: a spawned function's propagated WGAdds facts
+//     (with spawn-site argument substitution, so a helper Adding to its
+//     *sync.WaitGroup parameter is charged correctly) flag the Add site.
+//   - Add after Wait in the same body. Reusing a WaitGroup before the
+//     previous Wait has returned is documented as a race; lexically
+//     Adding below a Wait on the same counter is the static shadow of
+//     that mistake.
+//
+// The WaitGroup identity abstraction is the same var/field/param one the
+// channel and lock facts use. A spawned goroutine that is itself
+// WaitGroup-registered before the spawn (transport's accept loop) is a
+// deliberate pattern the rule cannot see is safe — such sites carry a
+// justified //pgalint:ignore.
+
+import (
+	"go/token"
+	"sort"
+)
+
+// WaitGroupMisuse builds the waitgroup analyzer.
+func WaitGroupMisuse() *Analyzer {
+	var cachedFacts *Facts
+	var pending []chanDiag
+	return &Analyzer{
+		Name: "waitgroup",
+		Doc: "detects WaitGroup counter races: Add executed inside a spawned " +
+			"goroutine (races the reaping Wait; found interprocedurally via " +
+			"summary WGAdds facts) and Add lexically after Wait on the same " +
+			"counter in one body",
+		Run: func(pass *Pass) {
+			if pass.Facts == nil {
+				return
+			}
+			if pass.Facts != cachedFacts {
+				cachedFacts = pass.Facts
+				pending = computeWaitGroup(pass.Facts)
+			}
+			for _, d := range pending {
+				for _, f := range pass.Files {
+					if f.FileStart <= d.pos && d.pos <= f.FileEnd {
+						pass.Reportf(d.pos, "waitgroup", "%s", d.msg)
+						break
+					}
+				}
+			}
+		},
+	}
+}
+
+// computeWaitGroup produces the module-wide waitgroup findings.
+func computeWaitGroup(facts *Facts) []chanDiag {
+	seen := map[token.Pos]bool{}
+	var diags []chanDiag
+	add := func(pos token.Pos, msg string) {
+		if pos == token.NoPos || seen[pos] {
+			return
+		}
+		seen[pos] = true
+		diags = append(diags, chanDiag{pos: pos, msg: msg})
+	}
+	for _, n := range facts.Graph.Nodes {
+		// Adds reached through a spawn edge execute on the spawned side.
+		for _, e := range n.Out {
+			if e.Kind != EdgeSpawn {
+				continue
+			}
+			cs := facts.Summary(e.Callee)
+			if cs == nil {
+				continue
+			}
+			for _, w := range cs.WGAdds {
+				// Confirm the fact binds to a real counter at this spawn
+				// site; an unbindable parameter fact is dropped (optimism).
+				if w.Param >= 0 {
+					arg := calleeArg(e, cs, w.Param)
+					if arg == nil || refIdentOf(infoOf(n), arg) == nil {
+						continue
+					}
+				}
+				add(w.Pos, "WaitGroup.Add executed inside a spawned goroutine "+
+					"races the reaping Wait (a Wait that runs first sees a zero "+
+					"counter); Add on the spawning side, before the go statement")
+			}
+		}
+		// Add lexically after Wait on the same counter, same body.
+		d := facts.Direct(n)
+		if d == nil || len(d.wgWaits) == 0 {
+			continue
+		}
+		for _, a := range d.WGAdds {
+			for _, w := range d.wgWaits {
+				if a.Param == w.Param && a.Obj == w.Obj && w.Pos < a.Pos {
+					add(a.Pos, "WaitGroup.Add after Wait on the same counter "+
+						"reuses the WaitGroup before the previous Wait returns "+
+						"(documented race); use a fresh WaitGroup per batch")
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
+	return diags
+}

@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestWaitGroup(t *testing.T) {
+	for _, fixture := range []string{
+		"waitgroup_bad.go",
+		"waitgroup_ok.go",
+		"waitgroup_x.go",
+	} {
+		t.Run(fixture, func(t *testing.T) {
+			checkRule(t, WaitGroupMisuse(), fixture)
+		})
+	}
+}

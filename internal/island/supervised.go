@@ -209,6 +209,7 @@ func (d *supAsyncDeme) deliver(pb pendingBatch) {
 		d.sup.DeadLetter(1)
 	} else {
 		pb.attempts++
+		//pgalint:ignore boundedres bounded by maxRetries: each batch re-queues at most MaxSendRetries times before dead-lettering, and Step drains pending every generation
 		d.pending = append(d.pending, pb)
 	}
 }

@@ -243,6 +243,7 @@ func (f *Faulty) Send(dest int, migrants []*core.Individual) bool {
 			f.event("%06d delay=%d dst=%d seq=%d dup=%v", f.tick, delay, dest, f.seq, dup)
 		}
 		f.order++
+		//pgalint:ignore boundedres at most one batch is held per logical tick and releaseDue drains everything due, so held is bounded by MaxDelay ticks
 		f.held = append(f.held, heldBatch{
 			due: f.tick + uint64(delay), order: f.order,
 			dest: dest, migrants: migrants, dup: dup,

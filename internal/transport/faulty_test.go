@@ -144,6 +144,94 @@ func TestFaultyDuplicateDeliversClones(t *testing.T) {
 	}
 }
 
+// TestFaultyPartitionCatchesInFlightDelayedBatch: a batch delayed into
+// a partition window must die at release time (release-drop), not slip
+// through because its fate was rolled before the cut opened — the
+// analogue of a reconnect attempt in flight when the partition lands.
+// The whole interaction must be byte-reproducible.
+func TestFaultyPartitionCatchesInFlightDelayedBatch(t *testing.T) {
+	spec := FaultSpec{
+		Link:       LinkFaults{Jitter: 1}, // every survivor is held ≥1 tick
+		MaxDelay:   2,
+		Partitions: []Partition{{From: 2, Until: 10, Peers: []int{1}}},
+	}
+	run := func() (*Faulty, int) {
+		eps := NewLoopback(2, 64)
+		f := NewFaulty(eps[0], spec, 21)
+		// Tick 1: pre-partition send, delayed to tick 2 or 3 — due inside
+		// the window. Ticks 2..5: sends into the cut (partition-drop) whose
+		// clock advances release the held batch into the partition.
+		for i := 0; i < 5; i++ {
+			f.Send(1, testBatch(1, 8))
+		}
+		got := 0
+		for {
+			if _, ok := eps[1].Recv(); !ok {
+				break
+			}
+			got++
+		}
+		return f, got
+	}
+	a, gotA := run()
+	b, gotB := run()
+	if !bytes.Equal(a.Schedule(), b.Schedule()) {
+		t.Fatalf("schedules diverge:\n--- a ---\n%s--- b ---\n%s", a.Schedule(), b.Schedule())
+	}
+	if gotA != 0 || gotB != 0 {
+		t.Fatalf("delivered %d/%d batches through the partition, want 0", gotA, gotB)
+	}
+	if !bytes.Contains(a.Schedule(), []byte("release-drop")) {
+		t.Fatalf("delayed batch was not release-dropped in the partition:\n%s", a.Schedule())
+	}
+	if s := a.Stats(); s.Dropped != 5 {
+		t.Fatalf("dropped = %d, want all 5 (1 released into the cut + 4 sent into it)", s.Dropped)
+	}
+}
+
+// TestFaultyCrashAtDuplicateTickDropsBoth: with DupProb=1 every
+// surviving send delivers twice, but a crash scheduled at the same
+// logical tick wins — the batch crash-drops before the duplicate roll,
+// consuming no randomness, so the post-crash stream (and the schedule
+// bytes) are unperturbed and reproducible.
+func TestFaultyCrashAtDuplicateTickDropsBoth(t *testing.T) {
+	spec := FaultSpec{
+		DupProb: 1,
+		Crashes: []Crash{{Peer: 1, At: 2, Until: 3}},
+	}
+	run := func() (*Faulty, int) {
+		eps := NewLoopback(2, 64)
+		f := NewFaulty(eps[0], spec, 5)
+		for i := 0; i < 3; i++ { // ticks 1 (live), 2 (crashed), 3 (live again)
+			f.Send(1, testBatch(1, 8))
+		}
+		got := 0
+		for {
+			if _, ok := eps[1].Recv(); !ok {
+				break
+			}
+			got++
+		}
+		return f, got
+	}
+	a, gotA := run()
+	b, gotB := run()
+	if !bytes.Equal(a.Schedule(), b.Schedule()) {
+		t.Fatalf("schedules diverge:\n--- a ---\n%s--- b ---\n%s", a.Schedule(), b.Schedule())
+	}
+	// Ticks 1 and 3 deliver original + duplicate; tick 2 delivers
+	// neither copy — the crash outranks the guaranteed duplicate.
+	if gotA != 4 || gotB != 4 {
+		t.Fatalf("delivered %d/%d batches, want 4 (2 doubled sends, crashed tick drops both copies)", gotA, gotB)
+	}
+	if n := bytes.Count(a.Schedule(), []byte("crash-drop")); n != 1 {
+		t.Fatalf("crash-drop events = %d, want exactly 1:\n%s", n, a.Schedule())
+	}
+	if s := a.Stats(); s.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (the injected duplicate of a dropped batch is never counted)", s.Dropped)
+	}
+}
+
 func TestFaultyDelayHoldsUntilDue(t *testing.T) {
 	spec := FaultSpec{Link: LinkFaults{Jitter: 1}, MaxDelay: 2}
 	eps := NewLoopback(2, 64)

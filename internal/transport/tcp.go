@@ -38,9 +38,15 @@ type TCPConfig struct {
 	// pointing elsewhere; a Peers[Self] entry is ignored).
 	Self int
 	// Listen is the local accept address (e.g. "127.0.0.1:7100" or
-	// "127.0.0.1:0"; required). The bound address is available from
-	// Addr after New.
+	// "127.0.0.1:0"; required unless Listener is set). The bound
+	// address is available from Addr after New.
 	Listen string
+	// Listener, when non-nil, is an already-bound listener the endpoint
+	// adopts instead of binding Listen. This lets a process bind ":0"
+	// early, publish the resolved address to its peers, and only then
+	// construct the endpoint — no close-and-rebind race. The endpoint
+	// owns the listener from here on and closes it on Close.
+	Listener net.Listener
 	// Peers maps island id → dial address for every other island.
 	Peers map[int]string
 	// QueueLen bounds each peer's outbound batch queue; default 8.
@@ -133,14 +139,18 @@ var (
 	_ LivenessReporter = (*TCP)(nil)
 )
 
-// NewTCP binds the listen address and starts the accept loop and one
-// sender goroutine per peer. Connections to peers are established
-// lazily on first send.
+// NewTCP binds the listen address (or adopts cfg.Listener) and starts
+// the accept loop and one sender goroutine per peer. Connections to
+// peers are established lazily on first send.
 func NewTCP(cfg TCPConfig) (*TCP, error) {
 	cfg = cfg.withDefaults()
-	ln, err := net.Listen("tcp", cfg.Listen)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+		}
 	}
 	t := &TCP{
 		cfg:   cfg,
@@ -311,6 +321,7 @@ func (t *TCP) acceptLoop() {
 			_ = conn.Close()
 			return
 		}
+		//pgalint:ignore waitgroup Add runs inside acceptLoop, which is itself wg-registered before spawn, so the counter is >=1 whenever this executes and Wait cannot have returned
 		t.wg.Add(1)
 		go t.serveConn(conn)
 	}
