@@ -26,10 +26,12 @@ bench:
 # Perf gate: hard allocation budgets on the generation hot path (zero
 # steady-state allocs for the sequential engines, small fixed budgets
 # for parallel/island), then the JSON benchmark report vs the seed
-# baselines (BENCH_3.json — uploaded as a CI artifact).
+# baselines (BENCH_8.json — uploaded as a CI artifact). -gate 1.0
+# fails the target when a gated word-path benchmark stops beating its
+# seed baseline.
 perf:
 	$(GO) test -run 'AllocBudget' -count=1 ./internal/ga/ ./internal/cellular/ ./internal/island/
-	$(GO) run ./cmd/pgabench -json -quick -out BENCH_3.json
+	$(GO) run ./cmd/pgabench -json -quick -gate 1.0 -out BENCH_8.json
 
 # Static gate: pgalint (determinism + concurrency contracts) and vet,
 # including explicit copylocks/unusedresult passes. -time reports

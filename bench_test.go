@@ -14,6 +14,7 @@ import (
 	"io"
 	"testing"
 
+	"pga/internal/core"
 	"pga/internal/exp"
 )
 
@@ -153,4 +154,73 @@ func freshPopulation(p Problem, n int, r *RNG) *Population {
 		pop.Members = append(pop.Members, &Individual{Genome: p.NewGenome(r)})
 	}
 	return pop
+}
+
+// BenchmarkGenerationalStepWordOps is BenchmarkGenerationalStep with the
+// word-granular operators (KPointWordCrossover + BlockFlipMutation): the
+// packed-layout fast path the BENCH_8 report compares against the
+// bit-wise operator step.
+func BenchmarkGenerationalStepWordOps(b *testing.B) {
+	e := NewGenerational(GAConfig{
+		Problem:   OneMax(128),
+		PopSize:   100,
+		Crossover: KPointWordCrossover{K: 2},
+		Mutator:   BlockFlipMutation{},
+		RNG:       NewRNG(1),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkSteadyStateStepWordOps is the steady-state counterpart with
+// UniformWordCrossover.
+func BenchmarkSteadyStateStepWordOps(b *testing.B) {
+	e := NewSteadyState(GAConfig{
+		Problem:   OneMax(128),
+		PopSize:   100,
+		Crossover: UniformWordCrossover{},
+		Mutator:   BlockFlipMutation{},
+		RNG:       NewRNG(1),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkBatchEvaluate measures the batched evaluation seam against
+// the scalar path on the same pending population (OneMax popcount).
+func BenchmarkBatchEvaluate(b *testing.B) {
+	prob := OneMax(512)
+	r := NewRNG(1)
+	pop := freshPopulation(prob, 256, r)
+	invalidate := func() {
+		for _, ind := range pop.Members {
+			ind.Evaluated = false
+		}
+	}
+	b.Run("batch", func(b *testing.B) {
+		var e core.SerialEvaluator
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			invalidate()
+			e.EvaluateAll(prob, pop)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			invalidate()
+			for _, ind := range pop.Members {
+				if !ind.Evaluated {
+					ind.Fitness = prob.Evaluate(ind.Genome)
+					ind.Evaluated = true
+				}
+			}
+		}
+	})
 }

@@ -9,7 +9,10 @@
 //	pgabench -list         # list experiment IDs
 //	pgabench -run E02,E06  # run selected experiments
 //	pgabench -json -quick  # hot-path micro-benchmarks + experiment
-//	                       # timings as JSON (-out, default BENCH_3.json)
+//	                       # timings as JSON (-out, default BENCH_8.json)
+//	pgabench -json -quick -gate 1.0
+//	                       # same, failing (exit 1) when a gated
+//	                       # benchmark's time_ratio drops below 1.0
 package main
 
 import (
@@ -27,7 +30,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	runIDs := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	jsonOut := flag.Bool("json", false, "emit micro-benchmarks + experiment timings as JSON")
-	outPath := flag.String("out", "BENCH_3.json", "output path for -json")
+	outPath := flag.String("out", "BENCH_8.json", "output path for -json")
+	gateMin := flag.Float64("gate", 0, "with -json: fail when a gated benchmark's time_ratio is below this (0 disables)")
 	flag.Parse()
 
 	if *list {
@@ -53,7 +57,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := runJSON(selected, *quick, *outPath); err != nil {
+		if err := runJSON(selected, *quick, *outPath, *gateMin); err != nil {
 			fmt.Fprintf(os.Stderr, "pgabench: %v\n", err)
 			os.Exit(1)
 		}

@@ -33,6 +33,7 @@ var fixturePkgPaths = map[string]string{
 	"rngflow_ok.go":       "pga/internal/rng",
 	"purity_bad.go":       "pga/internal/operators",
 	"purity_ok.go":        "pga/internal/operators",
+	"purity_exempt.go":    "pga/internal/memo",
 	"chantopo_bad.go":     "pga/internal/p2p",
 	"chantopo_ok.go":      "pga/internal/island",
 	"bareignore.go":       "pga/internal/ga",

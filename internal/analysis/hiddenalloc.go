@@ -59,10 +59,18 @@ func DefaultHiddenAllocConfig() HiddenAllocConfig {
 		"pga/internal/operators.SelectScratch",
 		"pga/internal/operators.SelectWith",
 		"pga/internal/operators.SUSInto",
+		// Batched evaluation seam: runs once per generation on the
+		// engine goroutine, between births.
+		"pga/internal/core.EvaluateAll",
+		"pga/internal/core.evaluateBatch",
+		"pga/internal/problems.EvaluateBatch",
 	}, Cold: []string{
 		// One-time pooled-buffer construction, guarded by a nil check.
 		"pga/internal/ga.ensureBuffers",
 		"pga/internal/cellular.ensureBuffers",
+		// Batch-buffer construction: allocates only on first use or
+		// population growth (capacity-guarded).
+		"pga/internal/core.ensureBatchBuffers",
 		// Adaptive copy: clones only on genome-shape mismatch (first use);
 		// the steady state reuses existing storage (perf_gate_test.go
 		// proves zero allocations per generation).

@@ -54,11 +54,20 @@ type PurityRole struct {
 type PurityConfig struct {
 	// Roles are the checked contracts.
 	Roles []PurityRole
+	// Exempt lists package-qualified method names
+	// ("pga/internal/core.Evaluate") excluded from role checking even when
+	// their shape matches — for documented, deliberately stateful wrappers
+	// whose synchronisation the purity summary cannot see. Matching is the
+	// same pkgPath+"."+name rule the hiddenalloc hot list uses, so every
+	// same-named method in the package is exempted together; keep such
+	// packages small.
+	Exempt []string
 }
 
 // DefaultPurityConfig returns the repository's operator contracts:
 // Problem.Evaluate, Mutator.Mutate, Crossover.Cross, InPlaceCrossover.
-// CrossInto, Selector.Select and ScratchSelector.SelectScratch.
+// CrossInto, Selector.Select, ScratchSelector.SelectScratch and
+// BatchProblem.EvaluateBatch.
 func DefaultPurityConfig() PurityConfig {
 	return PurityConfig{Roles: []PurityRole{
 		{Method: "Evaluate", Params: []string{"Genome"}, Results: 1},
@@ -72,6 +81,16 @@ func DefaultPurityConfig() PurityConfig {
 			Results: 1, RNG: []int{3}},
 		{Method: "SelectScratch", Params: []string{"Population", "Direction", "Source|Rand", "Scratch"},
 			Results: 1, Mutable: []int{4}, RNG: []int{3}},
+		// Batched fitness: reads the genome slice, fills the output slice.
+		// Slice parameters have no named element-type signature to match
+		// on, so the shape is name + arity + the mutable output slot.
+		{Method: "EvaluateBatch", Params: []string{"*", "*"},
+			Mutable: []int{2}},
+	}, Exempt: []string{
+		// CachedProblem.Evaluate memoises fitness behind a mutex: the
+		// receiver mutation is the documented point of the type, and the
+		// lock restores the concurrent-Evaluate safety the rule protects.
+		"pga/internal/core.Evaluate",
 	}}
 }
 
@@ -95,6 +114,9 @@ func PurityWith(cfg PurityConfig) *Analyzer {
 				for _, decl := range file.Decls {
 					fd, ok := decl.(*ast.FuncDecl)
 					if !ok || fd.Recv == nil || fd.Body == nil {
+						continue
+					}
+					if allowedFunc(cfg.Exempt, pass.PkgPath, fd.Name.Name) {
 						continue
 					}
 					for i := range cfg.Roles {

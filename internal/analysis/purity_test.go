@@ -4,3 +4,17 @@ import "testing"
 
 func TestPurityBad(t *testing.T) { checkRule(t, Purity(), "purity_bad.go") }
 func TestPurityOk(t *testing.T)  { checkRule(t, Purity(), "purity_ok.go") }
+
+// TestPurityExemptList pins the Exempt mechanism: the memoising Evaluate
+// in purity_exempt.go reports under the default config (its package has
+// no exemption) and falls silent once listed.
+func TestPurityExemptList(t *testing.T) {
+	if diags := runFixture(t, Purity(), "purity_exempt.go"); len(diags) != 1 {
+		t.Fatalf("unexempted memoised Evaluate: got %d findings, want 1: %v", len(diags), diags)
+	}
+	cfg := DefaultPurityConfig()
+	cfg.Exempt = append(cfg.Exempt, "pga/internal/memo.Evaluate")
+	if diags := runFixture(t, PurityWith(cfg), "purity_exempt.go"); len(diags) != 0 {
+		t.Fatalf("Exempt entry did not silence the finding: %v", diags)
+	}
+}

@@ -72,6 +72,18 @@ func (spawningMutate) Mutate(g Genome, r *rng.Source) { // want purity
 	<-done
 }
 
+// batchCounter tallies batch sizes on its receiver: EvaluateBatch may
+// fill its output slice, nothing else — shared Problem values are
+// evaluated concurrently.
+type batchCounter struct{ seen int }
+
+func (b *batchCounter) EvaluateBatch(genomes []Genome, out []float64) { // want purity
+	b.seen += len(genomes)
+	for i, g := range genomes {
+		out[i] = float64(len(g))
+	}
+}
+
 // tally counts selections in package state through a helper: the write
 // is invisible to a local scan of Select.
 var tally int

@@ -1,0 +1,26 @@
+package fixture
+
+// Fixture for PurityConfig.Exempt: a memoising fitness wrapper whose
+// Evaluate matches the role shape and mutates its receiver — the
+// violation the default config reports, and the exact pattern an Exempt
+// entry ("pga/internal/memo.Evaluate") is meant to sanction. Checked as
+// pga/internal/memo; TestPurityExemptList runs it both with and without
+// the exemption, so this file carries no want markers.
+
+// Genome stands in for core.Genome (role matching is by type name).
+type Genome []int
+
+// memoCache caches fitness by genome length — receiver mutation behind
+// what would, in production, be a mutex.
+type memoCache struct {
+	memo map[int]float64
+}
+
+func (m *memoCache) Evaluate(g Genome) float64 {
+	if f, ok := m.memo[len(g)]; ok {
+		return f
+	}
+	f := float64(len(g))
+	m.memo[len(g)] = f
+	return f
+}

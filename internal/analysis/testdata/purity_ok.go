@@ -50,6 +50,16 @@ func (cutCross) CrossInto(pa, pb, ca, cb OkGenome, r *rng.Source, s *OkScratch) 
 	copy(cb[cut:], pa[cut:])
 }
 
+// batchSummer fills exactly the output slice — the documented
+// EvaluateBatch allowance — reading the genomes without writing them.
+type batchSummer struct{}
+
+func (batchSummer) EvaluateBatch(genomes []OkGenome, out []float64) {
+	for i, g := range genomes {
+		out[i] = float64(genomeSum(g))
+	}
+}
+
 // binaryTournament draws from its stream and returns a winner without
 // touching the population.
 type binaryTournament struct{}

@@ -129,7 +129,7 @@ func TestFeatureSelectionInformativeBeatsNoise(t *testing.T) {
 	// Noise-only mask.
 	noise := genome.NewBitString(30)
 	for f := 5; f < 10; f++ {
-		noise.Bits[f] = true
+		noise.Set(f, true)
 	}
 	accNoise := fs.Accuracy(noise)
 	if accInf <= accNoise {
@@ -143,8 +143,8 @@ func TestFeatureSelectionInformativeBeatsNoise(t *testing.T) {
 func TestFeatureSelectionParsimony(t *testing.T) {
 	fs := NewFeatureSelection(30, 5, 3, 20, 9)
 	full := genome.NewBitString(30)
-	for i := range full.Bits {
-		full.Bits[i] = true
+	for i := 0; i < full.Len(); i++ {
+		full.Set(i, true)
 	}
 	inf := fs.InformativeMask()
 	// With equal-ish accuracy, the smaller subset must score higher.

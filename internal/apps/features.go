@@ -121,7 +121,7 @@ func (fs *FeatureSelection) Accuracy(mask *genome.BitString) float64 {
 		for c := range cent {
 			d := 0.0
 			for f := range x {
-				if !mask.Bits[f] {
+				if !mask.Get(f) {
 					continue
 				}
 				diff := x[f] - cent[c][f]
@@ -142,7 +142,7 @@ func (fs *FeatureSelection) Accuracy(mask *genome.BitString) float64 {
 func (fs *FeatureSelection) InformativeMask() *genome.BitString {
 	b := genome.NewBitString(fs.nFeatures)
 	for f := 0; f < fs.nInformative; f++ {
-		b.Bits[f] = true
+		b.Set(f, true)
 	}
 	return b
 }

@@ -69,7 +69,7 @@ func (g *GraphPartition) NewGenome(r *rng.Source) core.Genome {
 func (g *GraphPartition) CutSize(b *genome.BitString) int {
 	cut := 0
 	for _, e := range g.edges {
-		if b.Bits[e[0]] != b.Bits[e[1]] {
+		if b.Get(e[0]) != b.Get(e[1]) {
 			cut++
 		}
 	}
@@ -97,9 +97,7 @@ func (g *GraphPartition) Evaluate(gen core.Genome) float64 {
 // PlantedCut returns the cut size of the hidden planted partition (a
 // quality yardstick; the GA can legitimately beat it).
 func (g *GraphPartition) PlantedCut() int {
-	b := genome.NewBitString(g.n)
-	copy(b.Bits, g.planted)
-	return g.CutSize(b)
+	return g.CutSize(genome.BitStringFromBools(g.planted))
 }
 
 // CameraPlacement is Olague (2001)'s photogrammetric network design from

@@ -1,0 +1,124 @@
+package core
+
+import "sync"
+
+// Hashable is an optional Genome extension for genomes whose content can
+// be digested into a 128-bit key — the handle the fitness memo-cache
+// needs. The packed BitString implements it over its words.
+type Hashable interface {
+	Genome
+	// Hash128 returns a 128-bit content digest: equal genomes must hash
+	// equal, and distinct genomes must collide only with cryptographic-
+	// hash-style improbability (the cache trusts the digest fully).
+	Hash128() (uint64, uint64)
+}
+
+// CacheReporter is implemented by problems that keep fitness memo-cache
+// accounting; ga.Run copies the counters into RunStats after a run, so
+// the stats ride the existing result plumbing without touching the
+// Observer seam.
+type CacheReporter interface {
+	// CacheStats returns the cumulative cache hits and misses.
+	CacheStats() (hits, misses int64)
+}
+
+// cacheKey is the 128-bit genome digest used as the memo-cache map key.
+type cacheKey struct{ lo, hi uint64 }
+
+// CachedProblem decorates a Problem with a bounded fitness memo-cache
+// keyed by the genome's Hash128 digest. Steady-state and cellular
+// engines re-evaluate revisited genotypes constantly (elites survive,
+// mutation is rare per gene); for expensive fitness functions the cache
+// converts those revisits into map hits. Genomes that do not implement
+// Hashable bypass the cache.
+//
+// The cache is safe for concurrent Evaluate calls (the Problem contract)
+// and per-deme by construction: wrap the problem once per deme to keep
+// demes share-nothing. It is NOT allocation-free — map inserts allocate —
+// so it belongs on expensive evaluations, not inside the zero-alloc
+// micro-benchmarks.
+type CachedProblem struct {
+	Problem
+
+	capacity int
+	mu       sync.Mutex
+	memo     map[cacheKey]float64
+	hits     int64
+	misses   int64
+}
+
+// NewCachedProblem wraps p with a memo-cache holding at most capacity
+// entries (capacity <= 0 selects 1<<16). When full, the cache is cleared
+// wholesale — an epoch eviction that keeps the steady state allocation-
+// light and favours the current population over stale genotypes.
+func NewCachedProblem(p Problem, capacity int) *CachedProblem {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &CachedProblem{
+		Problem:  p,
+		capacity: capacity,
+		memo:     make(map[cacheKey]float64),
+	}
+}
+
+// Evaluate implements Problem: a cache hit returns the memoised fitness
+// (bit-identical to a fresh Evaluate — values enter the map only from
+// the wrapped problem); a miss evaluates and memoises.
+func (c *CachedProblem) Evaluate(g Genome) float64 {
+	h, ok := g.(Hashable)
+	if !ok {
+		return c.Problem.Evaluate(g)
+	}
+	lo, hi := h.Hash128()
+	key := cacheKey{lo, hi}
+	c.mu.Lock()
+	if f, ok := c.memo[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return f
+	}
+	c.mu.Unlock()
+	f := c.Problem.Evaluate(g)
+	c.mu.Lock()
+	c.misses++
+	if len(c.memo) >= c.capacity {
+		clear(c.memo)
+	}
+	c.memo[key] = f
+	c.mu.Unlock()
+	return f
+}
+
+// CacheStats implements CacheReporter.
+func (c *CachedProblem) CacheStats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the current number of memoised entries (for tests and
+// capacity tuning).
+func (c *CachedProblem) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.memo)
+}
+
+// Optimum implements TargetAware by delegation; it panics when the
+// wrapped problem has no known optimum (mirroring pga.Target's error).
+func (c *CachedProblem) Optimum() float64 {
+	if t, ok := c.Problem.(TargetAware); ok {
+		return t.Optimum()
+	}
+	panic("core: CachedProblem wraps a problem with no known optimum")
+}
+
+// Solved implements TargetAware by delegation; problems without a known
+// optimum never report solved.
+func (c *CachedProblem) Solved(f float64) bool {
+	if t, ok := c.Problem.(TargetAware); ok {
+		return t.Solved(f)
+	}
+	return false
+}

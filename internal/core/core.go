@@ -281,14 +281,37 @@ type Evaluator interface {
 	Evaluations() int64
 }
 
-// SerialEvaluator evaluates pending individuals one by one in the caller's
-// goroutine.
+// BatchProblem is an optional Problem extension for fitness functions
+// that can amortise per-call overhead across many genomes (the
+// evaluation-effort lever of Harada, Alba & Luque's methodology):
+// SerialEvaluator and the master–slave farm hand it whole pending sets
+// at once. EvaluateBatch must agree bit-for-bit with Evaluate on every
+// genome — batching is a throughput optimisation, never a semantic one.
+type BatchProblem interface {
+	Problem
+	// EvaluateBatch writes Evaluate(genomes[i]) into out[i] for every i.
+	// len(out) == len(genomes); genomes must not be modified.
+	EvaluateBatch(genomes []Genome, out []float64)
+}
+
+// SerialEvaluator evaluates pending individuals in the caller's
+// goroutine, one batch at a time when the problem supports it.
 type SerialEvaluator struct {
 	count int64
+
+	// Reusable batch buffers (grown once per population shape, then
+	// steady-state allocation-free — the alloc gates cover this path).
+	idx     []int
+	genomes []Genome
+	out     []float64
 }
 
 // EvaluateAll implements Evaluator.
 func (e *SerialEvaluator) EvaluateAll(p Problem, pop *Population) {
+	if bp, ok := p.(BatchProblem); ok {
+		e.evaluateBatch(bp, pop)
+		return
+	}
 	for _, ind := range pop.Members {
 		if !ind.Evaluated {
 			ind.Fitness = p.Evaluate(ind.Genome)
@@ -296,6 +319,42 @@ func (e *SerialEvaluator) EvaluateAll(p Problem, pop *Population) {
 			e.count++
 		}
 	}
+}
+
+// evaluateBatch gathers the pending members and evaluates them with one
+// EvaluateBatch call.
+func (e *SerialEvaluator) evaluateBatch(bp BatchProblem, pop *Population) {
+	e.ensureBatchBuffers(pop.Len())
+	pending := 0
+	for i, ind := range pop.Members {
+		if !ind.Evaluated {
+			e.idx[pending] = i
+			e.genomes[pending] = ind.Genome
+			pending++
+		}
+	}
+	if pending == 0 {
+		return
+	}
+	bp.EvaluateBatch(e.genomes[:pending], e.out[:pending])
+	for k := 0; k < pending; k++ {
+		ind := pop.Members[e.idx[k]]
+		ind.Fitness = e.out[k]
+		ind.Evaluated = true
+		e.genomes[k] = nil // do not pin genomes between calls
+	}
+	e.count += int64(pending)
+}
+
+// ensureBatchBuffers grows the reusable batch buffers to hold n entries
+// (first call or population growth only).
+func (e *SerialEvaluator) ensureBatchBuffers(n int) {
+	if cap(e.idx) >= n {
+		return
+	}
+	e.idx = make([]int, n)
+	e.genomes = make([]Genome, n)
+	e.out = make([]float64, n)
 }
 
 // Evaluations implements Evaluator.

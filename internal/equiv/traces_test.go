@@ -164,6 +164,43 @@ func scenarios() map[string]func() trace {
 			}))
 		},
 
+		// Word-wise operators on the packed representation. These draw one
+		// uint64 per 64-bit word rather than one decision per bit, so they
+		// have their own pinned trajectories (intentionally different RNG
+		// consumption from the bit-wise operators above).
+		"generational/onemax-uniformword-blockflip": func() trace {
+			return engineTrace(ga.NewGenerational(ga.Config{
+				Problem: problems.OneMax{N: 96}, PopSize: 40,
+				Selector:  operators.Tournament{K: 2},
+				Crossover: operators.UniformWord{}, Mutator: operators.BlockFlip{},
+				RNG: rng.New(51),
+			}))
+		},
+		"generational/onemax-kpointword-blockflip": func() trace {
+			return engineTrace(ga.NewGenerational(ga.Config{
+				Problem: problems.OneMax{N: 100}, PopSize: 40, // N % 64 != 0: tail-word path
+				Selector:  operators.Tournament{K: 2},
+				Crossover: operators.KPointWord{K: 2}, Mutator: operators.BlockFlip{K: 5},
+				RNG: rng.New(52),
+			}))
+		},
+		"steadystate/royalroad-uniformword-blockflip": func() trace {
+			return engineTrace(ga.NewSteadyState(ga.Config{
+				Problem: problems.RoyalRoad{Blocks: 8, K: 8}, PopSize: 40,
+				Selector:  operators.Tournament{K: 2},
+				Crossover: operators.UniformWord{}, Mutator: operators.BlockFlip{},
+				RNG: rng.New(53),
+			}, true))
+		},
+		"cellular/onemax-kpointword-sync-L5": func() trace {
+			return engineTrace(cellular.New(cellular.Config{
+				Problem: problems.OneMax{N: 72}, Rows: 6, Cols: 6,
+				Crossover: operators.KPointWord{K: 1}, Mutator: operators.BlockFlip{},
+				Update: cellular.Synchronous, Neighborhood: cellular.VonNeumann,
+				RNG: rng.New(54),
+			}))
+		},
+
 		// Steady-state engine, both replacement policies.
 		"steadystate/onemax-worst": func() trace {
 			return engineTrace(ga.NewSteadyState(ga.Config{

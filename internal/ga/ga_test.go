@@ -341,3 +341,36 @@ func (p tspStub) Evaluate(g core.Genome) float64 {
 	}
 	return float64(miss)
 }
+
+// TestRunCachedProblemStats pins the memo-cache plumbing: wrapping the
+// problem in core.CachedProblem must leave the evolution trajectory
+// bit-identical (cache hits return the memoised fitness, which entered
+// the map from the same Evaluate) while the hit/miss counters surface on
+// the result without touching the Observer seam.
+func TestRunCachedProblemStats(t *testing.T) {
+	run := func(wrap bool) *core.Result {
+		cfg := baseConfig(77)
+		if wrap {
+			cfg.Problem = core.NewCachedProblem(cfg.Problem, 0)
+		}
+		e := NewSteadyState(cfg, true)
+		return Run(e, RunOptions{Stop: core.MaxGenerations(200)})
+	}
+	plain := run(false)
+	cached := run(true)
+
+	if plain.BestFitness != cached.BestFitness || plain.Evaluations != cached.Evaluations {
+		t.Fatalf("cache changed the run: best %v/%v evals %d/%d",
+			plain.BestFitness, cached.BestFitness, plain.Evaluations, cached.Evaluations)
+	}
+	if plain.CacheHits != 0 || plain.CacheMisses != 0 {
+		t.Fatal("unwrapped run reported cache stats")
+	}
+	if cached.CacheHits == 0 {
+		t.Fatal("steady-state revisits produced no cache hits")
+	}
+	if cached.CacheHits+cached.CacheMisses != cached.Evaluations {
+		t.Fatalf("hits+misses = %d, evaluations = %d (hashable genomes must all route through the cache)",
+			cached.CacheHits+cached.CacheMisses, cached.Evaluations)
+	}
+}

@@ -59,6 +59,19 @@ func allocGateCases() []allocGateCase {
 			RNG:       rng.New(1),
 		}
 	}
+	// Word-wise operators on the packed bitset: the whole point of the
+	// []uint64 layout is that word-granular crossover and mutation touch
+	// no per-bit state, so they must be zero-alloc too. N % 64 != 0
+	// keeps the tail-word masking on the measured path.
+	wordOps := func() Config {
+		return Config{
+			Problem:   problems.OneMax{N: 150},
+			PopSize:   100,
+			Crossover: operators.KPointWord{K: 2},
+			Mutator:   operators.BlockFlip{},
+			RNG:       rng.New(1),
+		}
+	}
 	gapCfg := oneMax()
 	gapCfg.GenGap = 0.5
 	gapCfg.Elitism = 4
@@ -66,6 +79,12 @@ func allocGateCases() []allocGateCase {
 	rankCfg.Selector = operators.LinearRank{}
 	return []allocGateCase{
 		{"generational/onemax", NewGenerational(oneMax()), 0},
+		{"generational/onemax-wordops", NewGenerational(wordOps()), 0},
+		{"steady-state/onemax-wordops", NewSteadyState(func() Config {
+			c := wordOps()
+			c.Crossover = operators.UniformWord{}
+			return c
+		}(), true), 0},
 		{"generational/sphere", NewGenerational(sphere()), 0},
 		{"generational/qap-erx", NewGenerational(qap()), 0},
 		{"generational/gap+elitism", NewGenerational(gapCfg), 0},

@@ -94,5 +94,10 @@ func Run(e Engine, opts RunOptions) *core.Result {
 		InitialTracePoint: true,
 		Observers:         observers,
 	}, &res.RunStats)
+	// Fitness memo-cache accounting rides the result, not the Observer
+	// seam: a CachedProblem's counters are copied once, after the loop.
+	if cr, ok := e.Problem().(core.CacheReporter); ok {
+		res.CacheHits, res.CacheMisses = cr.CacheStats()
+	}
 	return res
 }

@@ -11,6 +11,7 @@ package genome
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"pga/internal/core"
@@ -27,126 +28,276 @@ var (
 	_ core.InPlace = (*Permutation)(nil)
 )
 
-// BitString is a fixed-length binary chromosome.
+// BitString is a fixed-length binary chromosome stored as a packed
+// bitset: gene i lives in Words[i/64] at bit position i%64 (LSB-first
+// within a word). The unused high bits of the final word are always
+// zero — the tail-mask invariant — which lets whole-word operations
+// (popcount, XOR Hamming, word-wise crossover masks) run without any
+// per-call masking. See DESIGN's memory-layout section for the
+// contract.
 type BitString struct {
-	Bits []bool
+	// Words is the packed bit storage, LSB-first within each word.
+	// Mutators that write whole words must preserve the tail-mask
+	// invariant: bits at positions >= N in the final word stay zero.
+	Words []uint64
+	// N is the genome length in bits.
+	N int
+}
+
+// wordsFor returns the number of 64-bit words required to hold n bits.
+func wordsFor(n int) int { return (n + 63) >> 6 }
+
+// TailMask returns the mask of valid bit positions in the final word of
+// an n-bit string (all ones when n is a positive multiple of 64).
+// Word-wise operators AND their random masks with it so the tail-mask
+// invariant survives whole-word writes.
+func TailMask(n int) uint64 {
+	if r := uint(n) & 63; r != 0 {
+		return 1<<r - 1
+	}
+	return ^uint64(0)
 }
 
 // NewBitString returns an all-zero bit string of length n.
-func NewBitString(n int) *BitString { return &BitString{Bits: make([]bool, n)} }
+func NewBitString(n int) *BitString {
+	return &BitString{Words: make([]uint64, wordsFor(n)), N: n}
+}
 
 // RandomBitString returns a uniformly random bit string of length n.
+// It draws exactly one Bool per gene; the draw sequence predates the
+// packed layout and is pinned by the equiv golden traces.
 func RandomBitString(n int, r *rng.Source) *BitString {
 	b := NewBitString(n)
-	for i := range b.Bits {
-		b.Bits[i] = r.Bool()
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			b.Words[i>>6] |= 1 << (uint(i) & 63)
+		}
 	}
 	return b
 }
 
+// BitStringFromBools packs a []bool (the pre-packed wire format kept by
+// internal/persist and internal/transport) into a BitString.
+func BitStringFromBools(bools []bool) *BitString {
+	b := NewBitString(len(bools))
+	for i, v := range bools {
+		if v {
+			b.Words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return b
+}
+
+// ToBools unpacks the genes into a fresh []bool (wire format).
+func (b *BitString) ToBools() []bool {
+	out := make([]bool, b.N)
+	for i := range out {
+		out[i] = b.Words[i>>6]>>(uint(i)&63)&1 == 1
+	}
+	return out
+}
+
+// Get returns gene i. It panics when i is out of range.
+func (b *BitString) Get(i int) bool {
+	if uint(i) >= uint(b.N) {
+		panic("genome: BitString index out of range")
+	}
+	return b.Words[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// Set writes gene i. It panics when i is out of range.
+func (b *BitString) Set(i int, v bool) {
+	if uint(i) >= uint(b.N) {
+		panic("genome: BitString index out of range")
+	}
+	if v {
+		b.Words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b.Words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Flip inverts gene i. It panics when i is out of range.
+func (b *BitString) Flip(i int) {
+	if uint(i) >= uint(b.N) {
+		panic("genome: BitString index out of range")
+	}
+	b.Words[i>>6] ^= 1 << (uint(i) & 63)
+}
+
 // Clone implements core.Genome.
 func (b *BitString) Clone() core.Genome {
-	c := NewBitString(len(b.Bits))
-	copy(c.Bits, b.Bits)
+	c := NewBitString(b.N)
+	copy(c.Words, b.Words)
 	return c
 }
 
 // CopyFrom implements core.InPlace. It panics on type or length mismatch.
 func (b *BitString) CopyFrom(src core.Genome) {
 	o := src.(*BitString)
-	if len(b.Bits) != len(o.Bits) {
+	if b.N != o.N {
 		panic("genome: BitString.CopyFrom length mismatch")
 	}
-	copy(b.Bits, o.Bits)
+	copy(b.Words, o.Words)
 }
 
 // Len implements core.Genome.
-func (b *BitString) Len() int { return len(b.Bits) }
+func (b *BitString) Len() int { return b.N }
 
-// String implements core.Genome. Long genomes are abbreviated.
+// String implements core.Genome. Long genomes are abbreviated. At most
+// 64 genes are rendered, so the digits fit a single stack buffer.
 func (b *BitString) String() string {
-	var sb strings.Builder
-	n := len(b.Bits)
-	show := n
+	show := b.N
 	if show > 64 {
 		show = 64
 	}
+	var buf [64]byte
 	for i := 0; i < show; i++ {
-		if b.Bits[i] {
-			sb.WriteByte('1')
-		} else {
-			sb.WriteByte('0')
-		}
+		buf[i] = '0' + byte(b.Words[i>>6]>>(uint(i)&63)&1)
 	}
-	if show < n {
-		fmt.Fprintf(&sb, "…(%d)", n)
+	if show == b.N {
+		return string(buf[:show])
 	}
-	return sb.String()
+	return string(buf[:show]) + fmt.Sprintf("…(%d)", b.N)
 }
 
-// OnesCount returns the number of one-bits.
+// OnesCount returns the number of one-bits (one popcount per word; the
+// tail-mask invariant makes the final word safe to count unmasked).
 func (b *BitString) OnesCount() int {
 	n := 0
-	for _, bit := range b.Bits {
-		if bit {
-			n++
-		}
+	for _, w := range b.Words {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
 
-// Hamming returns the Hamming distance to o. It panics on length mismatch.
+// OnesCountRange returns the number of one-bits in genes [lo, hi),
+// counting whole words between the masked boundary words. It panics on
+// an invalid range.
+func (b *BitString) OnesCountRange(lo, hi int) int {
+	if lo < 0 || hi > b.N || hi < lo {
+		panic("genome: OnesCountRange invalid")
+	}
+	if lo == hi {
+		return 0
+	}
+	fw, lw := lo>>6, (hi-1)>>6
+	first := ^uint64(0) << (uint(lo) & 63)
+	last := ^uint64(0) >> (63 - uint(hi-1)&63)
+	if fw == lw {
+		return bits.OnesCount64(b.Words[fw] & first & last)
+	}
+	n := bits.OnesCount64(b.Words[fw] & first)
+	for w := fw + 1; w < lw; w++ {
+		n += bits.OnesCount64(b.Words[w])
+	}
+	return n + bits.OnesCount64(b.Words[lw]&last)
+}
+
+// Hamming returns the Hamming distance to o (XOR + popcount per word).
+// It panics on length mismatch.
 func (b *BitString) Hamming(o *BitString) int {
-	if len(b.Bits) != len(o.Bits) {
+	if b.N != o.N {
 		panic("genome: Hamming distance between different lengths")
 	}
 	d := 0
-	for i := range b.Bits {
-		if b.Bits[i] != o.Bits[i] {
-			d++
-		}
+	for i, w := range b.Words {
+		d += bits.OnesCount64(w ^ o.Words[i])
 	}
 	return d
 }
 
 // Equal reports whether b and o hold identical bits.
 func (b *BitString) Equal(o *BitString) bool {
-	if len(b.Bits) != len(o.Bits) {
+	if b.N != o.N {
 		return false
 	}
-	for i := range b.Bits {
-		if b.Bits[i] != o.Bits[i] {
+	for i, w := range b.Words {
+		if w != o.Words[i] {
 			return false
 		}
 	}
 	return true
 }
 
-// Uint decodes bits [lo, hi) as a big-endian unsigned integer.
-// It panics if the range is invalid or wider than 64 bits.
-func (b *BitString) Uint(lo, hi int) uint64 {
-	if lo < 0 || hi > len(b.Bits) || hi < lo || hi-lo > 64 {
-		panic("genome: Uint range invalid")
+// Hash128 implements core.Hashable: a 128-bit digest of the packed
+// words and the length, used as the key of the fitness memo-cache. Two
+// independent lanes (FNV-1a and a splitmix-style avalanche) make
+// accidental collisions across a cache's lifetime negligible.
+func (b *BitString) Hash128() (uint64, uint64) {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h1 := uint64(fnvOffset) ^ uint64(b.N)*fnvPrime
+	h2 := uint64(fnvOffset) + uint64(b.N)
+	for _, w := range b.Words {
+		h1 = (h1 ^ w) * fnvPrime
+		h2 += w + 0x9e3779b97f4a7c15
+		h2 = (h2 ^ h2>>30) * 0xbf58476d1ce4e5b9
+		h2 = (h2 ^ h2>>27) * 0x94d049bb133111eb
+		h2 ^= h2 >> 31
 	}
-	var v uint64
-	for i := lo; i < hi; i++ {
-		v <<= 1
-		if b.Bits[i] {
-			v |= 1
-		}
+	return h1, h2
+}
+
+// field extracts w bits (1..64) starting at gene lo, LSB-first.
+func (b *BitString) field(lo, w int) uint64 {
+	fw := lo >> 6
+	off := uint(lo) & 63
+	v := b.Words[fw] >> off
+	if off != 0 && off+uint(w) > 64 {
+		v |= b.Words[fw+1] << (64 - off)
+	}
+	if w < 64 {
+		v &= 1<<uint(w) - 1
 	}
 	return v
 }
 
-// SetUint encodes v big-endian into bits [lo, hi).
+// setField deposits the low w bits (1..64) of v at gene lo, LSB-first.
+func (b *BitString) setField(lo, w int, v uint64) {
+	fw := lo >> 6
+	off := uint(lo) & 63
+	mask := ^uint64(0)
+	if w < 64 {
+		mask = 1<<uint(w) - 1
+	}
+	b.Words[fw] = b.Words[fw]&^(mask<<off) | v<<off
+	if off != 0 && off+uint(w) > 64 {
+		b.Words[fw+1] = b.Words[fw+1]&^(mask>>(64-off)) | v>>(64-off)
+	}
+}
+
+// Uint decodes bits [lo, hi) as a big-endian unsigned integer (gene lo
+// is the most significant bit, as in the classic fixed-point decoding).
+// It panics if the range is invalid or wider than 64 bits. The packed
+// layout stores genes LSB-first, so the word-windowed field is
+// bit-reversed down to the requested width.
+func (b *BitString) Uint(lo, hi int) uint64 {
+	if lo < 0 || hi > b.N || hi < lo || hi-lo > 64 {
+		panic("genome: Uint range invalid")
+	}
+	w := hi - lo
+	if w == 0 {
+		return 0
+	}
+	return bits.Reverse64(b.field(lo, w)) >> (64 - uint(w))
+}
+
+// SetUint encodes the low hi-lo bits of v big-endian into genes [lo, hi).
 func (b *BitString) SetUint(lo, hi int, v uint64) {
-	if lo < 0 || hi > len(b.Bits) || hi < lo || hi-lo > 64 {
+	if lo < 0 || hi > b.N || hi < lo || hi-lo > 64 {
 		panic("genome: SetUint range invalid")
 	}
-	for i := hi - 1; i >= lo; i-- {
-		b.Bits[i] = v&1 == 1
-		v >>= 1
+	w := hi - lo
+	if w == 0 {
+		return
 	}
+	if w < 64 {
+		v &= 1<<uint(w) - 1
+	}
+	b.setField(lo, w, bits.Reverse64(v)>>(64-uint(w)))
 }
 
 // GrayToBinary converts a Gray-coded value to plain binary.
@@ -406,7 +557,10 @@ func (p *Permutation) Valid() bool {
 	return true
 }
 
-// PositionOf returns the index at which item v appears, or -1.
+// PositionOf returns the index at which item v appears, or -1. Each
+// call is a linear scan; callers that need the position of every item
+// should build the inverse table once with InverseInto instead of
+// issuing n scans (O(n) vs O(n²)).
 func (p *Permutation) PositionOf(v int) int {
 	for i, x := range p.Perm {
 		if x == v {
@@ -414,4 +568,17 @@ func (p *Permutation) PositionOf(v int) int {
 		}
 	}
 	return -1
+}
+
+// InverseInto fills inv with the inverse index table (inv[v] = position
+// of item v) in one pass — the index-table replacement for repeated
+// PositionOf scans. It panics on length mismatch and requires a valid
+// permutation.
+func (p *Permutation) InverseInto(inv []int) {
+	if len(inv) != len(p.Perm) {
+		panic("genome: Permutation.InverseInto length mismatch")
+	}
+	for i, v := range p.Perm {
+		inv[v] = i
+	}
 }

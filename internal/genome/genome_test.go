@@ -12,8 +12,8 @@ func TestBitStringCloneDeep(t *testing.T) {
 	r := rng.New(1)
 	b := RandomBitString(32, r)
 	c := b.Clone().(*BitString)
-	c.Bits[0] = !c.Bits[0]
-	if b.Bits[0] == c.Bits[0] {
+	c.Flip(0)
+	if b.Get(0) == c.Get(0) {
 		t.Fatal("Clone aliases bits")
 	}
 	if c.Len() != 32 {
@@ -26,7 +26,9 @@ func TestBitStringOnesCount(t *testing.T) {
 	if b.OnesCount() != 0 {
 		t.Fatal("fresh bitstring not zero")
 	}
-	b.Bits[1], b.Bits[3], b.Bits[7] = true, true, true
+	b.Set(1, true)
+	b.Set(3, true)
+	b.Set(7, true)
 	if b.OnesCount() != 3 {
 		t.Fatalf("OnesCount=%d want 3", b.OnesCount())
 	}
@@ -35,7 +37,8 @@ func TestBitStringOnesCount(t *testing.T) {
 func TestBitStringHamming(t *testing.T) {
 	a := NewBitString(5)
 	b := NewBitString(5)
-	b.Bits[0], b.Bits[4] = true, true
+	b.Set(0, true)
+	b.Set(4, true)
 	if d := a.Hamming(b); d != 2 {
 		t.Fatalf("Hamming=%d want 2", d)
 	}
@@ -123,8 +126,8 @@ func TestDecodeReal(t *testing.T) {
 	if got := b.DecodeReal(0, 10, -5, 5, false); got != -5 {
 		t.Fatalf("all-zero decodes to %v, want -5", got)
 	}
-	for i := range b.Bits {
-		b.Bits[i] = true
+	for i := 0; i < b.Len(); i++ {
+		b.Set(i, true)
 	}
 	if got := b.DecodeReal(0, 10, -5, 5, false); got != 5 {
 		t.Fatalf("all-one decodes to %v, want 5", got)

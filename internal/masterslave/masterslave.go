@@ -248,6 +248,14 @@ func (f *Farm) EvaluateAll(p core.Problem, pop *core.Population) {
 func (f *Farm) worker(w int, p core.Problem, pop *core.Population, slice []int) []int {
 	spec := f.specs[w]
 	r := f.rngs[w]
+	// Fault-free workers draw nothing from their RNG stream, so a batch
+	// problem can evaluate the whole slice in one call without perturbing
+	// the reproducible fault scenarios of faulty configurations.
+	if spec.FailProb == 0 {
+		if bp, ok := p.(core.BatchProblem); ok {
+			return f.workerBatch(w, bp, pop, slice)
+		}
+	}
 	var failed []int
 	for _, idx := range slice {
 		f.mu.Lock()
@@ -278,4 +286,38 @@ func (f *Farm) worker(w int, p core.Problem, pop *core.Population, slice []int) 
 		f.mu.Unlock()
 	}
 	return failed
+}
+
+// workerBatch evaluates a fault-free worker's whole slice with one
+// EvaluateBatch call (per-genome results are bit-identical to Evaluate
+// by the BatchProblem contract, so the farm's output is unchanged).
+func (f *Farm) workerBatch(w int, bp core.BatchProblem, pop *core.Population, slice []int) []int {
+	if len(slice) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	isDead := f.dead[w]
+	f.mu.Unlock()
+	if isDead {
+		// Mirror worker's per-task dead check: report the slice failed.
+		return slice
+	}
+	genomes := make([]core.Genome, len(slice))
+	out := make([]float64, len(slice))
+	for k, idx := range slice {
+		genomes[k] = pop.Members[idx].Genome
+	}
+	bp.EvaluateBatch(genomes, out)
+	for k, idx := range slice {
+		ind := pop.Members[idx]
+		ind.Fitness = out[k]
+		ind.Evaluated = true
+	}
+	n := int64(len(slice))
+	f.attempts.Add(n)
+	f.evals.Add(n)
+	f.mu.Lock()
+	f.tasksDone[w] += n
+	f.mu.Unlock()
+	return nil
 }

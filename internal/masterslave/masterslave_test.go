@@ -6,6 +6,7 @@ import (
 
 	"pga/internal/core"
 	"pga/internal/ga"
+	"pga/internal/genome"
 	"pga/internal/operators"
 	"pga/internal/problems"
 	"pga/internal/rng"
@@ -258,5 +259,86 @@ func TestZeroSpeedNormalised(t *testing.T) {
 	f := NewFarm(1, []WorkerSpec{{Speed: 0}})
 	if f.specs[0].Speed != 1 {
 		t.Fatal("zero speed not normalised to 1")
+	}
+}
+
+// batchCountingProblem is OneMax with a BatchProblem seam and counters
+// for both entry points, to pin which path the farm takes.
+type batchCountingProblem struct {
+	problems.OneMax
+	scalar atomic.Int64
+	batch  atomic.Int64
+}
+
+func (p *batchCountingProblem) Evaluate(g core.Genome) float64 {
+	p.scalar.Add(1)
+	return p.OneMax.Evaluate(g)
+}
+
+func (p *batchCountingProblem) EvaluateBatch(genomes []core.Genome, out []float64) {
+	p.batch.Add(1)
+	p.OneMax.EvaluateBatch(genomes, out)
+}
+
+func TestFarmBatchPathFaultFree(t *testing.T) {
+	// Fault-free workers hand their whole slice to EvaluateBatch: one
+	// batch call per worker, no scalar calls, identical fitness values.
+	p := &batchCountingProblem{OneMax: problems.OneMax{N: 32}}
+	f := NewFarm(1, Uniform(4))
+	pop := freshPop(p, 40, 3)
+	f.EvaluateAll(p, pop)
+
+	if got := p.batch.Load(); got != 4 {
+		t.Fatalf("batch calls = %d, want one per worker", got)
+	}
+	if p.scalar.Load() != 0 {
+		t.Fatal("fault-free farm fell back to scalar Evaluate")
+	}
+	if f.Evaluations() != 40 {
+		t.Fatalf("evals = %d, want 40", f.Evaluations())
+	}
+	for i, ind := range pop.Members {
+		want := float64(ind.Genome.(*genome.BitString).OnesCount())
+		if !ind.Evaluated || ind.Fitness != want {
+			t.Fatalf("member %d: fitness %v, want %v", i, ind.Fitness, want)
+		}
+	}
+}
+
+func TestFarmBatchSkipsFaultyWorkers(t *testing.T) {
+	// Workers with FailProb > 0 must stay on the per-task path: their
+	// fault draws are part of the pinned reproducible scenarios.
+	p := &batchCountingProblem{OneMax: problems.OneMax{N: 16}}
+	specs := Uniform(2)
+	specs[1].FailProb = 0.2
+	f := NewFarm(7, specs)
+	pop := freshPop(p, 30, 4)
+	f.EvaluateAll(p, pop)
+
+	if p.scalar.Load() == 0 {
+		t.Fatal("faulty worker never took the scalar path")
+	}
+	for _, ind := range pop.Members {
+		if !ind.Evaluated {
+			t.Fatal("member left unevaluated")
+		}
+	}
+}
+
+func TestFarmBatchMatchesScalarFarm(t *testing.T) {
+	// The batched farm must produce the same fitness assignment as a farm
+	// whose problem has no batch seam.
+	batched := freshPop(problems.OneMax{N: 64}, 50, 5)
+	scalar := freshPop(problems.OneMax{N: 64}, 50, 5)
+
+	NewFarm(1, Uniform(3)).EvaluateAll(problems.OneMax{N: 64}, batched)
+	p := &countingProblem{inner: problems.OneMax{N: 64}} // wrapper hides the seam
+	NewFarm(1, Uniform(3)).EvaluateAll(p, scalar)
+
+	for i := range batched.Members {
+		if batched.Members[i].Fitness != scalar.Members[i].Fitness {
+			t.Fatalf("member %d: batched %v != scalar %v", i,
+				batched.Members[i].Fitness, scalar.Members[i].Fitness)
+		}
 	}
 }

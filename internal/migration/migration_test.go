@@ -42,8 +42,8 @@ func TestSelectBest(t *testing.T) {
 func TestSelectBestClones(t *testing.T) {
 	p := pop(1, 2)
 	m := (SelectBest{}).Pick(p, core.Maximize, 1, rng.New(1))
-	m[0].Genome.(*genome.BitString).Bits[0] = true
-	if p.Members[1].Genome.(*genome.BitString).Bits[0] {
+	m[0].Genome.(*genome.BitString).Set(0, true)
+	if p.Members[1].Genome.(*genome.BitString).Get(0) {
 		t.Fatal("emigrant aliases population genome")
 	}
 }

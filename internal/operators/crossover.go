@@ -125,7 +125,9 @@ func swapGene(a, b core.Genome, i int) {
 	switch ga := a.(type) {
 	case *genome.BitString:
 		gb := b.(*genome.BitString)
-		ga.Bits[i], gb.Bits[i] = gb.Bits[i], ga.Bits[i]
+		bi, bj := ga.Get(i), gb.Get(i)
+		ga.Set(i, bj)
+		gb.Set(i, bi)
 	case *genome.IntVector:
 		gb := b.(*genome.IntVector)
 		ga.Genes[i], gb.Genes[i] = gb.Genes[i], ga.Genes[i]

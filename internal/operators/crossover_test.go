@@ -19,13 +19,13 @@ func TestKPointPreservesMultiset(t *testing.T) {
 		ca, cb := (KPoint{K: k}).Cross(a, b, r)
 		ga, gb := ca.(*genome.BitString), cb.(*genome.BitString)
 		for i := 0; i < 32; i++ {
-			okA := ga.Bits[i] == a.Bits[i] || ga.Bits[i] == b.Bits[i]
-			okB := gb.Bits[i] == a.Bits[i] || gb.Bits[i] == b.Bits[i]
+			okA := ga.Get(i) == a.Get(i) || ga.Get(i) == b.Get(i)
+			okB := gb.Get(i) == a.Get(i) || gb.Get(i) == b.Get(i)
 			if !okA || !okB {
 				t.Fatalf("k=%d: child gene %d not from either parent", k, i)
 			}
 			// Children are complementary: together they hold both parent genes.
-			if (ga.Bits[i] == a.Bits[i]) != (gb.Bits[i] == b.Bits[i]) && a.Bits[i] != b.Bits[i] {
+			if (ga.Get(i) == a.Get(i)) != (gb.Get(i) == b.Get(i)) && a.Get(i) != b.Get(i) {
 				t.Fatalf("k=%d: children not complementary at %d", k, i)
 			}
 		}
@@ -36,8 +36,8 @@ func TestOnePointSingleBoundary(t *testing.T) {
 	r := rng.New(2)
 	a := genome.NewBitString(16) // all zero
 	b := genome.NewBitString(16)
-	for i := range b.Bits {
-		b.Bits[i] = true // all one
+	for i := 0; i < b.Len(); i++ {
+		b.Set(i, true) // all one
 	}
 	for trial := 0; trial < 100; trial++ {
 		ca, _ := (OnePoint{}).Cross(a, b, r)
@@ -45,7 +45,7 @@ func TestOnePointSingleBoundary(t *testing.T) {
 		// Child must be 0^i 1^j or have exactly one transition.
 		transitions := 0
 		for i := 1; i < 16; i++ {
-			if g.Bits[i] != g.Bits[i-1] {
+			if g.Get(i) != g.Get(i-1) {
 				transitions++
 			}
 		}
@@ -59,15 +59,15 @@ func TestTwoPointTransitions(t *testing.T) {
 	r := rng.New(3)
 	a := genome.NewBitString(16)
 	b := genome.NewBitString(16)
-	for i := range b.Bits {
-		b.Bits[i] = true
+	for i := 0; i < b.Len(); i++ {
+		b.Set(i, true)
 	}
 	for trial := 0; trial < 100; trial++ {
 		ca, _ := (TwoPoint{}).Cross(a, b, r)
 		g := ca.(*genome.BitString)
 		transitions := 0
 		for i := 1; i < 16; i++ {
-			if g.Bits[i] != g.Bits[i-1] {
+			if g.Get(i) != g.Get(i-1) {
 				transitions++
 			}
 		}
@@ -93,7 +93,7 @@ func TestKPointTinyGenomes(t *testing.T) {
 	r := rng.New(5)
 	a := genome.NewBitString(1)
 	b := genome.NewBitString(1)
-	b.Bits[0] = true
+	b.Set(0, true)
 	ca, cb := (KPoint{K: 3}).Cross(a, b, r)
 	if ca.Len() != 1 || cb.Len() != 1 {
 		t.Fatal("length changed on 1-gene crossover")
@@ -131,8 +131,8 @@ func TestUniformExchangesRoughlyP(t *testing.T) {
 	n := 1000
 	a := genome.NewBitString(n)
 	b := genome.NewBitString(n)
-	for i := range b.Bits {
-		b.Bits[i] = true
+	for i := 0; i < b.Len(); i++ {
+		b.Set(i, true)
 	}
 	ca, _ := (Uniform{P: 0.3}).Cross(a, b, r)
 	ones := ca.(*genome.BitString).OnesCount()
@@ -148,10 +148,10 @@ func TestUniformComplementary(t *testing.T) {
 	ca, cb := (Uniform{}).Cross(a, b, r)
 	ga, gb := ca.(*genome.BitString), cb.(*genome.BitString)
 	for i := 0; i < 64; i++ {
-		if a.Bits[i] == b.Bits[i] {
+		if a.Get(i) == b.Get(i) {
 			continue
 		}
-		if ga.Bits[i] == gb.Bits[i] {
+		if ga.Get(i) == gb.Get(i) {
 			t.Fatalf("uniform children not complementary at %d", i)
 		}
 	}

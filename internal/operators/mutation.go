@@ -37,11 +37,13 @@ func (m BitFlip) Mutate(g core.Genome, r *rng.Source) {
 	}
 	p := m.P
 	if p <= 0 {
-		p = 1 / float64(len(b.Bits))
+		p = 1 / float64(b.N)
 	}
-	for i := range b.Bits {
+	// One Chance draw per gene, exactly as before the packed layout —
+	// the draw sequence is pinned by the equiv golden traces.
+	for i := 0; i < b.N; i++ {
 		if r.Chance(p) {
-			b.Bits[i] = !b.Bits[i]
+			b.Flip(i)
 		}
 	}
 }
@@ -198,7 +200,9 @@ func (Swap) Mutate(g core.Genome, r *rng.Source) {
 	case *genome.RealVector:
 		v.Genes[i], v.Genes[j] = v.Genes[j], v.Genes[i]
 	case *genome.BitString:
-		v.Bits[i], v.Bits[j] = v.Bits[j], v.Bits[i]
+		bi, bj := v.Get(i), v.Get(j)
+		v.Set(i, bj)
+		v.Set(j, bi)
 	default:
 		panic(fmt.Sprintf("operators: Swap applied to %T", g))
 	}

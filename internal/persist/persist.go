@@ -56,7 +56,10 @@ type populationRecord struct {
 func encodeGenome(g core.Genome) (genomeRecord, error) {
 	switch v := g.(type) {
 	case *genome.BitString:
-		return genomeRecord{Type: "bits", Bits: v.Bits}, nil
+		// The wire format stays []bool: checkpoints written before the
+		// packed-word layout load unchanged, and packed internals never
+		// leak into persisted artifacts.
+		return genomeRecord{Type: "bits", Bits: v.ToBools()}, nil
 	case *genome.RealVector:
 		return genomeRecord{Type: "real", Genes: v.Genes, Lo: v.Lo, Hi: v.Hi}, nil
 	case *genome.IntVector:
@@ -72,7 +75,7 @@ func encodeGenome(g core.Genome) (genomeRecord, error) {
 func decodeGenome(rec genomeRecord) (core.Genome, error) {
 	switch rec.Type {
 	case "bits":
-		return &genome.BitString{Bits: rec.Bits}, nil
+		return genome.BitStringFromBools(rec.Bits), nil
 	case "real":
 		if len(rec.Lo) != len(rec.Genes) || len(rec.Hi) != len(rec.Genes) {
 			return nil, fmt.Errorf("persist: real genome bounds length mismatch")

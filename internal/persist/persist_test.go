@@ -288,3 +288,35 @@ func TestCheckpointJSONStable(t *testing.T) {
 		}
 	}
 }
+
+// TestBitStringRoundTripBoundaryLengths pins the packed-layout boundary
+// cases through the []bool wire format: lengths straddling the 64-bit
+// word size, zero-length genomes, and the tail-mask invariant on the
+// restored copy (a dirty tail would silently corrupt popcount fitness).
+func TestBitStringRoundTripBoundaryLengths(t *testing.T) {
+	r := rng.New(9)
+	pop := core.NewPopulation(6)
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		ind := core.NewIndividual(genome.RandomBitString(n, r))
+		ind.Fitness, ind.Evaluated = float64(n), true
+		pop.Members = append(pop.Members, ind)
+	}
+	data, err := MarshalPopulation(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPopulation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ind := range got.Members {
+		w := pop.Members[i].Genome.(*genome.BitString)
+		g := ind.Genome.(*genome.BitString)
+		if !g.Equal(w) {
+			t.Fatalf("member %d (len %d): bits changed in round trip", i, w.Len())
+		}
+		if g.N > 0 && g.Words[len(g.Words)-1]&^genome.TailMask(g.N) != 0 {
+			t.Fatalf("member %d: restored genome has dirty tail bits", i)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package problems
+
+import (
+	"pga/internal/core"
+	"pga/internal/genome"
+)
+
+// Batched evaluation for the popcount-friendly binary landscapes: the
+// evaluators walk each genome's packed words directly, amortising the
+// per-call interface dispatch and bounds checks across the whole pending
+// set. Both must return bit-identical fitness to their scalar Evaluate
+// (core.BatchProblem's contract — the equiv golden traces hold either
+// way, since SerialEvaluator auto-dispatches to the batch path).
+var (
+	_ core.BatchProblem = OneMax{}
+	_ core.BatchProblem = RoyalRoad{}
+)
+
+// EvaluateBatch implements core.BatchProblem.
+func (p OneMax) EvaluateBatch(genomes []core.Genome, out []float64) {
+	for i, g := range genomes {
+		out[i] = float64(g.(*genome.BitString).OnesCount())
+	}
+}
+
+// EvaluateBatch implements core.BatchProblem.
+func (p RoyalRoad) EvaluateBatch(genomes []core.Genome, out []float64) {
+	for i, g := range genomes {
+		b := g.(*genome.BitString)
+		total := 0.0
+		for blk := 0; blk < p.Blocks; blk++ {
+			if b.OnesCountRange(blk*p.K, (blk+1)*p.K) == p.K {
+				total += float64(p.K)
+			}
+		}
+		out[i] = total
+	}
+}

@@ -10,6 +10,7 @@ package problems
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"pga/internal/core"
 	"pga/internal/genome"
@@ -69,12 +70,7 @@ func (p DeceptiveTrap) Evaluate(g core.Genome) float64 {
 	b := g.(*genome.BitString)
 	total := 0.0
 	for blk := 0; blk < p.Blocks; blk++ {
-		ones := 0
-		for i := blk * p.K; i < (blk+1)*p.K; i++ {
-			if b.Bits[i] {
-				ones++
-			}
-		}
+		ones := b.OnesCountRange(blk*p.K, (blk+1)*p.K)
 		if ones == p.K {
 			total += float64(p.K)
 		} else {
@@ -117,13 +113,7 @@ func (p MMDP) Evaluate(g core.Genome) float64 {
 	b := g.(*genome.BitString)
 	total := 0.0
 	for blk := 0; blk < p.Blocks; blk++ {
-		ones := 0
-		for i := blk * 6; i < (blk+1)*6; i++ {
-			if b.Bits[i] {
-				ones++
-			}
-		}
-		total += mmdpScore[ones]
+		total += mmdpScore[b.OnesCountRange(blk*6, (blk+1)*6)]
 	}
 	return total
 }
@@ -207,14 +197,7 @@ func (p RoyalRoad) Evaluate(g core.Genome) float64 {
 	b := g.(*genome.BitString)
 	total := 0.0
 	for blk := 0; blk < p.Blocks; blk++ {
-		full := true
-		for i := blk * p.K; i < (blk+1)*p.K; i++ {
-			if !b.Bits[i] {
-				full = false
-				break
-			}
-		}
-		if full {
+		if b.OnesCountRange(blk*p.K, (blk+1)*p.K) == p.K {
 			total += float64(p.K)
 		}
 	}
@@ -282,7 +265,7 @@ func (p *NKLandscape) Evaluate(g core.Genome) float64 {
 		pattern := 0
 		for _, j := range p.links[i] {
 			pattern <<= 1
-			if b.Bits[j] {
+			if b.Get(j) {
 				pattern |= 1
 			}
 		}
@@ -329,9 +312,9 @@ func (p *SubsetSum) NewGenome(r *rng.Source) core.Genome {
 func (p *SubsetSum) Evaluate(g core.Genome) float64 {
 	b := g.(*genome.BitString)
 	var sum int64
-	for i, bit := range b.Bits {
-		if bit {
-			sum += p.weights[i]
+	for w, word := range b.Words {
+		for ; word != 0; word &= word - 1 {
+			sum += p.weights[w<<6|bits.TrailingZeros64(word)]
 		}
 	}
 	d := sum - p.target
@@ -388,8 +371,11 @@ func (p *Knapsack) NewGenome(r *rng.Source) core.Genome {
 func (p *Knapsack) Evaluate(g core.Genome) float64 {
 	b := g.(*genome.BitString)
 	var value, weight float64
-	for i, bit := range b.Bits {
-		if bit {
+	// Set-bit iteration ascends within each word, so the float summation
+	// order matches the old per-bit loop exactly (bit-identical fitness).
+	for w, word := range b.Words {
+		for ; word != 0; word &= word - 1 {
+			i := w<<6 | bits.TrailingZeros64(word)
 			value += p.values[i]
 			weight += p.weights[i]
 		}
@@ -450,7 +436,7 @@ func (p *MaxSAT) Evaluate(g core.Genome) float64 {
 			if v < 0 {
 				v, neg = -v, true
 			}
-			if b.Bits[v-1] != neg {
+			if b.Get(v-1) != neg {
 				sat++
 				break
 			}

@@ -12,8 +12,8 @@ import (
 // allOnes / allZeros helpers.
 func allOnes(n int) *genome.BitString {
 	b := genome.NewBitString(n)
-	for i := range b.Bits {
-		b.Bits[i] = true
+	for i := 0; i < b.Len(); i++ {
+		b.Set(i, true)
 	}
 	return b
 }
@@ -40,7 +40,7 @@ func TestDeceptiveTrapValues(t *testing.T) {
 	for ones, want := range cases {
 		b := genome.NewBitString(4)
 		for i := 0; i < ones; i++ {
-			b.Bits[i] = true
+			b.Set(i, true)
 		}
 		if got := p.Evaluate(b); got != want {
 			t.Fatalf("trap(%d ones) = %v, want %v", ones, got, want)
@@ -56,7 +56,7 @@ func TestDeceptiveTrapIsDeceptive(t *testing.T) {
 	for ones := 0; ones < 5; ones++ {
 		b := genome.NewBitString(5)
 		for i := 0; i < ones; i++ {
-			b.Bits[i] = true
+			b.Set(i, true)
 		}
 		f := p.Evaluate(b)
 		if f >= prev {
@@ -89,8 +89,9 @@ func TestMMDP(t *testing.T) {
 	}
 	// Unitation 3 is the deceptive attractor with value 0.640576 per block.
 	b := genome.NewBitString(12)
-	b.Bits[0], b.Bits[1], b.Bits[2] = true, true, true
-	b.Bits[6], b.Bits[7], b.Bits[8] = true, true, true
+	for _, i := range []int{0, 1, 2, 6, 7, 8} {
+		b.Set(i, true)
+	}
 	if got := p.Evaluate(b); math.Abs(got-2*0.640576) > 1e-9 {
 		t.Fatalf("mmdp unitation-3 = %v", got)
 	}
@@ -139,9 +140,9 @@ func TestRoyalRoad(t *testing.T) {
 	// One complete block scores exactly K; a partial block scores 0.
 	b := genome.NewBitString(32)
 	for i := 0; i < 8; i++ {
-		b.Bits[i] = true
+		b.Set(i, true)
 	}
-	b.Bits[9] = true // partial second block contributes nothing
+	b.Set(9, true) // partial second block contributes nothing
 	if got := p.Evaluate(b); got != 8 {
 		t.Fatalf("one-block royal road = %v", got)
 	}
@@ -175,7 +176,7 @@ func TestNKEpistasis(t *testing.T) {
 	r := rng.New(3)
 	g := p.NewGenome(r).(*genome.BitString)
 	f0 := p.Evaluate(g)
-	g.Bits[0] = !g.Bits[0]
+	g.Flip(0)
 	f1 := p.Evaluate(g)
 	if f0 == f1 {
 		t.Fatal("flipping a bit changed nothing (suspicious for NK)")
@@ -299,8 +300,8 @@ func TestBinaryEncodedDecode(t *testing.T) {
 	if x[0] != inner.Lo || x[1] != inner.Lo {
 		t.Fatalf("all-zero decodes to %v, want lo bounds", x)
 	}
-	for i := range b.Bits {
-		b.Bits[i] = true
+	for i := 0; i < b.Len(); i++ {
+		b.Set(i, true)
 	}
 	x = enc.Decode(b)
 	if x[0] != inner.Hi || x[1] != inner.Hi {

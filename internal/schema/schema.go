@@ -106,14 +106,14 @@ func (s Schema) DefiningLength() int {
 // Matches reports whether b is an instance of the schema. It panics on
 // length mismatch.
 func (s Schema) Matches(b *genome.BitString) bool {
-	if len(b.Bits) != len(s.Pattern) {
+	if b.Len() != len(s.Pattern) {
 		panic("schema: genome length mismatch")
 	}
 	for i, p := range s.Pattern {
 		if p == Wildcard {
 			continue
 		}
-		if (p == 1) != b.Bits[i] {
+		if (p == 1) != b.Get(i) {
 			return false
 		}
 	}

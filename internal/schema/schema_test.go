@@ -14,7 +14,7 @@ import (
 func bits(s string) *genome.BitString {
 	b := genome.NewBitString(len(s))
 	for i, c := range s {
-		b.Bits[i] = c == '1'
+		b.Set(i, c == '1')
 	}
 	return b
 }

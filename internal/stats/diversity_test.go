@@ -39,8 +39,8 @@ func TestBitDiversityConverged(t *testing.T) {
 func TestBitDiversityOpposite(t *testing.T) {
 	a := genome.NewBitString(16)
 	b := genome.NewBitString(16)
-	for i := range b.Bits {
-		b.Bits[i] = true
+	for i := 0; i < b.Len(); i++ {
+		b.Set(i, true)
 	}
 	// Two opposite strings: every pair disagrees everywhere → 1.0.
 	if d := Diversity(popOf(a, b)); math.Abs(d-1) > 1e-12 {
@@ -126,5 +126,41 @@ func TestDiversityDecreasesUnderSelection(t *testing.T) {
 	after := Diversity(pop)
 	if after >= before {
 		t.Fatalf("diversity did not fall: %v -> %v", before, after)
+	}
+}
+
+// TestBitDiversityMatchesHeterozygosityForm is the property test the
+// bitDiversity comment points at: the pairwise XOR+popcount form must
+// equal the per-locus heterozygosity form — Σ_l ones_l·(n−ones_l) pairs,
+// scaled by 2/(n(n−1)L) — within float round-off, for odd lengths and
+// population sizes alike.
+func TestBitDiversityMatchesHeterozygosityForm(t *testing.T) {
+	reference := func(pop *core.Population) float64 {
+		n := pop.Len()
+		length := pop.Members[0].Genome.Len()
+		total := 0.0
+		for l := 0; l < length; l++ {
+			ones := 0
+			for _, ind := range pop.Members {
+				if ind.Genome.(*genome.BitString).Get(l) {
+					ones++
+				}
+			}
+			total += float64(ones) * float64(n-ones)
+		}
+		return 2 * total / (float64(n) * float64(n-1) * float64(length))
+	}
+	r := rng.New(6)
+	for _, tc := range []struct{ n, length int }{
+		{2, 1}, {3, 63}, {7, 64}, {10, 65}, {25, 130}, {40, 32},
+	} {
+		pop := core.NewPopulation(tc.n)
+		for i := 0; i < tc.n; i++ {
+			pop.Members = append(pop.Members, core.NewIndividual(genome.RandomBitString(tc.length, r)))
+		}
+		got, want := Diversity(pop), reference(pop)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("n=%d L=%d: pairwise %v vs heterozygosity %v", tc.n, tc.length, got, want)
+		}
 	}
 }

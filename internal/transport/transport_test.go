@@ -17,7 +17,7 @@ func testBatch(n, bits int) []*core.Individual {
 	for i := range out {
 		g := genome.NewBitString(bits)
 		for j := 0; j <= i && j < bits; j++ {
-			g.Bits[j] = true
+			g.Set(j, true)
 		}
 		out[i] = &core.Individual{Genome: g, Fitness: float64(i + 1), Evaluated: true}
 	}
@@ -101,8 +101,8 @@ func TestWireRoundTrip(t *testing.T) {
 		}
 		g := ind.Genome.(*genome.BitString)
 		w := batch[i].Genome.(*genome.BitString)
-		for j := range w.Bits {
-			if g.Bits[j] != w.Bits[j] {
+		for j := 0; j < w.Len(); j++ {
+			if g.Get(j) != w.Get(j) {
 				t.Fatalf("individual %d bit %d flipped in transit", i, j)
 			}
 		}
@@ -184,5 +184,45 @@ func TestWireVersionMismatchRejected(t *testing.T) {
 	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
 	if _, _, err := readFrame(bytes.NewReader(b)); err == nil {
 		t.Fatal("future wire version accepted")
+	}
+}
+
+// TestWireRoundTripBoundaryLengths sends packed genomes of word-boundary
+// lengths through the full gob frame codec: the packed layout must never
+// leak into the wire format, and the decoded copies must be bit-exact
+// with clean tails.
+func TestWireRoundTripBoundaryLengths(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	var batch []*core.Individual
+	for _, n := range []int{1, 63, 64, 65, 130} {
+		g := genome.NewBitString(n)
+		for j := 0; j < n; j++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			g.Set(j, rng&1 == 1)
+		}
+		batch = append(batch, &core.Individual{Genome: g, Fitness: float64(n), Evaluated: true})
+	}
+	data, err := encodeBatch(2, 7, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := readFrame(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("got %d migrants, want %d", len(got), len(batch))
+	}
+	for i, ind := range got {
+		w := batch[i].Genome.(*genome.BitString)
+		g := ind.Genome.(*genome.BitString)
+		if !g.Equal(w) {
+			t.Fatalf("migrant %d (len %d): bits corrupted in transit", i, w.Len())
+		}
+		if g.Words[len(g.Words)-1]&^genome.TailMask(g.N) != 0 {
+			t.Fatalf("migrant %d: decoded genome has dirty tail bits", i)
+		}
 	}
 }

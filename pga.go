@@ -174,12 +174,23 @@ type (
 	PMXCrossover = operators.PMX
 	// ERXCrossover is edge-recombination crossover for permutations.
 	ERXCrossover = operators.ERX
+	// UniformWordCrossover is word-granular uniform crossover for bit
+	// strings: one RNG word serves 64 genes (packed-layout fast path;
+	// draws differ from UniformCrossover).
+	UniformWordCrossover = operators.UniformWord
+	// KPointWordCrossover is k-point crossover for bit strings executed
+	// as masked word swaps (same cut draws as KPointCrossover, word-wise
+	// segment exchange).
+	KPointWordCrossover = operators.KPointWord
 )
 
 // Mutation operators.
 type (
 	// BitFlip flips bits with a per-gene probability.
 	BitFlip = operators.BitFlip
+	// BlockFlipMutation flips bits word-at-a-time with per-gene
+	// probability 2^-K (K AND-ed mask draws per 64-gene word).
+	BlockFlipMutation = operators.BlockFlip
 	// GaussianMutation perturbs real genes.
 	GaussianMutation = operators.Gaussian
 	// PolynomialMutation is Deb's polynomial mutation.
@@ -212,6 +223,18 @@ var (
 
 // OneMax returns the n-bit OneMax problem.
 func OneMax(n int) Problem { return problems.OneMax{N: n} }
+
+// BatchProblem is the optional batched-fitness extension: problems
+// implementing it are handed whole pending sets by the serial evaluator
+// and the master–slave farm.
+type BatchProblem = core.BatchProblem
+
+// NewCachedProblem wraps p with a bounded fitness memo-cache keyed by
+// genome content (capacity <= 0 selects the 65536-entry default). Cache
+// hit/miss counters surface on Result.CacheHits / Result.CacheMisses.
+func NewCachedProblem(p Problem, capacity int) Problem {
+	return core.NewCachedProblem(p, capacity)
+}
 
 // DeceptiveTrap returns a deceptive trap problem with blocks of k bits.
 func DeceptiveTrap(blocks, k int) Problem { return problems.DeceptiveTrap{Blocks: blocks, K: k} }
