@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench perf lint fuzz
+.PHONY: all build test race bench perf lint tracecover fuzz
 
 all: build lint test
 
@@ -45,5 +45,19 @@ lint:
 	$(GO) vet ./...
 	$(GO) vet -copylocks -unusedresult ./...
 
+# Golden-trace coverage audit: every declared RNG-draw equivalence pair
+# (core/operators/island DrawPairs) must be exercised by a pinned golden
+# scenario or a dedicated equivalence test. Writes the markdown report
+# to tracecover.md (uploaded as a CI artifact) and fails on uncovered
+# pairs.
+# (No pipe to tee: a pipeline would report tee's exit status, not the
+# audit's.)
+tracecover:
+	$(GO) run ./cmd/pgalint -tracecover > tracecover.md || { cat tracecover.md; exit 1; }
+	cat tracecover.md
+
+# Short local fuzz passes for the property-tested surfaces: the persist
+# wire decoder and the packed BitString vs its []bool reference model.
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalPopulation -fuzztime=30s ./internal/persist/
+	$(GO) test -fuzz=FuzzBitStringOps -fuzztime=30s ./internal/genome/

@@ -5,10 +5,10 @@ package main
 // baselines recorded below, time the quick experiment suite, and write
 // the whole report as one JSON document (BENCH_8.json in CI). With
 // -gate, the gated entries (the word-operator step benchmarks) must
-// beat their seed baselines — time_ratio at or above the threshold —
-// or the run exits non-zero; the alloc-budget tests in internal/ga,
-// internal/cellular and internal/island enforce the hard zero/fixed
-// budgets.
+// beat their seed baselines — time_ratio at or above the threshold, and
+// allocs/op under seed allocs ÷ threshold — or the run exits non-zero;
+// the alloc-budget tests in internal/ga, internal/cellular and
+// internal/island enforce the hard zero/fixed budgets.
 
 import (
 	"encoding/json"
@@ -269,9 +269,21 @@ func runJSON(selected []exp.Experiment, quick bool, outPath string, gateMin floa
 		report.Benchmarks = append(report.Benchmarks, br)
 		fmt.Printf("  %-24s %10d ns/op %8d B/op %6d allocs/op  (time_ratio %.2f)\n",
 			hb.name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp(), br.TimeRatio)
-		if gateMin > 0 && hb.gated && br.TimeRatio < gateMin {
-			gateFailures = append(gateFailures,
-				fmt.Sprintf("%s: time_ratio %.3f < %.3f", hb.name, br.TimeRatio, gateMin))
+		if gateMin > 0 && hb.gated {
+			if br.TimeRatio < gateMin {
+				gateFailures = append(gateFailures,
+					fmt.Sprintf("%s: time_ratio %.3f < %.3f", hb.name, br.TimeRatio, gateMin))
+			}
+			// Allocation regressions hide inside a time_ratio that still
+			// clears the bar on a fast host, so allocs/op is gated too,
+			// symmetrically with time: the seed count must exceed the
+			// current count by at least the gate factor. Multiplication
+			// keeps a zero seed baseline meaning "must stay zero".
+			if float64(res.AllocsPerOp())*gateMin > float64(hb.seed.AllocsPerOp) {
+				gateFailures = append(gateFailures,
+					fmt.Sprintf("%s: allocs_per_op %d exceeds seed %d at gate %.3f",
+						hb.name, res.AllocsPerOp(), hb.seed.AllocsPerOp, gateMin))
+			}
 		}
 	}
 

@@ -13,6 +13,8 @@
 //	pgabench -json -quick -gate 1.0
 //	                       # same, failing (exit 1) when a gated
 //	                       # benchmark's time_ratio drops below 1.0
+//	                       # or its allocs/op stops beating the seed
+//	                       # baseline by the same factor
 package main
 
 import (
@@ -31,7 +33,7 @@ func main() {
 	runIDs := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	jsonOut := flag.Bool("json", false, "emit micro-benchmarks + experiment timings as JSON")
 	outPath := flag.String("out", "BENCH_8.json", "output path for -json")
-	gateMin := flag.Float64("gate", 0, "with -json: fail when a gated benchmark's time_ratio is below this (0 disables)")
+	gateMin := flag.Float64("gate", 0, "with -json: fail when a gated benchmark's time_ratio is below this or its allocs/op misses the seed baseline by the same factor (0 disables)")
 	flag.Parse()
 
 	if *list {

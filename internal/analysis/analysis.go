@@ -113,6 +113,8 @@ func Registry() []*Analyzer {
 		LockOrder(),
 		BoundedRes(),
 		WaitGroupMisuse(),
+		DrawShapeRule(),
+		DrawParityRule(),
 	}
 }
 

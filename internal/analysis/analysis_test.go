@@ -48,7 +48,12 @@ var fixturePkgPaths = map[string]string{
 	"waitgroup_bad.go":    "pga/internal/farm",
 	"waitgroup_ok.go":     "pga/internal/farm",
 	"waitgroup_x.go":      "pga/internal/farm",
+	"drawshape_bad.go":    "pga/internal/operators",
+	"drawshape_ok.go":     "pga/internal/operators",
+	"drawparity_bad.go":   "pga/internal/pairfix",
+	"drawparity_ok.go":    "pga/internal/pairfix2",
 	"auxrng.go":           "pga/internal/fixrng",
+	"auxtail.go":          "pga/internal/fixgen",
 	"auxchan.go":          "pga/internal/chanutil",
 	"auxrand.go":          "pga/internal/jitter",
 	"auxlock.go":          "pga/internal/lockutil",
@@ -70,6 +75,10 @@ var fixtureGroups = map[string][]string{
 	"lockorder_x.go":     {"auxlock.go"},
 	"boundedres_x.go":    {"auxgrow.go"},
 	"waitgroup_x.go":     {"auxwg.go"},
+	"drawshape_bad.go":   {"auxrng.go", "auxtail.go"},
+	"drawshape_ok.go":    {"auxrng.go"},
+	"drawparity_bad.go":  {"auxrng.go"},
+	"drawparity_ok.go":   {"auxrng.go"},
 }
 
 // The fixture loader shares one file set, one stdlib source importer and

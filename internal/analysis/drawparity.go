@@ -1,0 +1,123 @@
+package analysis
+
+// Rule 14, drawparity: declared equivalence pairs must have identical
+// symbolic draw shapes. The repo's engines freely substitute one member
+// of a pair for the other (allocating Cross vs in-place CrossInto,
+// Select vs SelectScratch, SUS vs SUSInto, the scalar vs batched
+// evaluator path, the in-process island seed split vs the wire one), and
+// the substitution is sound only when both members consume the same RNG
+// draw sequence. The dynamic proof is one golden trace per operator; the
+// static proof is shape equality, which also covers operators a trace
+// does not exercise and catches a desync at review time instead of at
+// golden-regeneration time.
+//
+// The declared pairs mirror the runtime registries in internal/core,
+// internal/operators and internal/island (core.DrawPairs et al.);
+// analysis stays import-decoupled from the product packages, and a sync
+// test in cmd/pgalint asserts the two listings agree. Mismatches are
+// reported at both members, in whichever package's pass owns each.
+// Incomplete shapes (recursion, unresolved bodies) and missing nodes
+// skip silently — optimistic like every other rule — except that a pair
+// with exactly one member present is reported: it means a rename or
+// deletion left a dangling declaration.
+
+// DrawPairSpec names the two members of one equivalence pair by their
+// qualified node names.
+type DrawPairSpec struct {
+	A, B string
+}
+
+// DrawParityConfig parameterizes drawparity.
+type DrawParityConfig struct {
+	Pairs []DrawPairSpec
+}
+
+// DefaultDrawParityConfig lists the repo's equivalence pairs. Keep in
+// sync with the runtime registries (TestDrawPairRegistryMatchesAnalysis
+// in cmd/pgalint enforces it).
+func DefaultDrawParityConfig() DrawParityConfig {
+	ops := "pga/internal/operators."
+	var pairs []DrawPairSpec
+	for _, c := range []string{
+		"OnePoint", "TwoPoint", "KPoint", "Uniform", "Arithmetic", "BLX",
+		"SBX", "OX", "PMX", "CX", "ERX", "UniformWord", "KPointWord",
+	} {
+		pairs = append(pairs, DrawPairSpec{A: ops + c + ".Cross", B: ops + c + ".CrossInto"})
+	}
+	pairs = append(pairs,
+		DrawPairSpec{A: ops + "LinearRank.Select", B: ops + "LinearRank.SelectScratch"},
+		DrawPairSpec{A: ops + "Truncation.Select", B: ops + "Truncation.SelectScratch"},
+		DrawPairSpec{A: ops + "SUS", B: ops + "SUSInto"},
+		DrawPairSpec{
+			A: "pga/internal/core.SerialEvaluator.EvaluateAll",
+			B: "pga/internal/core.SerialEvaluator.evaluateBatch",
+		},
+		DrawPairSpec{
+			A: "pga/internal/island.newDemeStreams",
+			B: "pga/internal/island.WireStreams",
+		},
+	)
+	return DrawParityConfig{Pairs: pairs}
+}
+
+// DrawParityRule returns the drawparity analyzer with the default pairs.
+func DrawParityRule() *Analyzer { return DrawParityWith(DefaultDrawParityConfig()) }
+
+// DrawParityWith returns a drawparity analyzer for cfg.
+func DrawParityWith(cfg DrawParityConfig) *Analyzer {
+	return &Analyzer{
+		Name: "drawparity",
+		Doc: "requires declared equivalence pairs (allocating/in-place operators, " +
+			"scalar/batch evaluation, island seed splits) to consume identical " +
+			"symbolic RNG draw shapes",
+		Run: func(pass *Pass) {
+			if pass.Facts == nil {
+				return
+			}
+			g := pass.Facts.Graph
+			for _, p := range cfg.Pairs {
+				na, nb := g.NodeByName(p.A), g.NodeByName(p.B)
+				if na == nil && nb == nil {
+					continue // pair not in the analyzed set: optimistic
+				}
+				if na == nil || nb == nil {
+					present, missing := na, p.B
+					if na == nil {
+						present, missing = nb, p.A
+					}
+					if ownsNode(pass, present) {
+						pass.Reportf(present.Decl.Name.Pos(), "drawparity",
+							"equivalence pair member %s not found (declared partner of %s): renamed or deleted without updating the pair registry",
+							missing, present.Name)
+					}
+					continue
+				}
+				sa, sb := pass.Facts.DrawShape(na), pass.Facts.DrawShape(nb)
+				if sa == nil || sb == nil || sa.Incomplete || sb.Incomplete {
+					continue
+				}
+				if sa.EqualTerms(sb) {
+					continue
+				}
+				for _, m := range []struct {
+					n     *Node
+					mine  *DrawShape
+					other *Node
+					their *DrawShape
+				}{{na, sa, nb, sb}, {nb, sb, na, sa}} {
+					if ownsNode(pass, m.n) {
+						pass.Reportf(m.n.Decl.Name.Pos(), "drawparity",
+							"draw shape %s diverges from equivalence partner %s (shape %s): the pair no longer consumes identical RNG draw sequences",
+							m.mine, m.other.Name, m.their)
+					}
+				}
+			}
+		},
+	}
+}
+
+// ownsNode reports whether this pass's package owns n, so each member of
+// a cross-package pair is reported exactly once, in its own package.
+func ownsNode(pass *Pass, n *Node) bool {
+	return n.Pkg != nil && n.Pkg.Types == pass.Pkg && n.Decl != nil
+}

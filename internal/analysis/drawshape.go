@@ -1,0 +1,123 @@
+package analysis
+
+// Rule 13, drawshape: the static half of the PR 8 draw-compatibility
+// contract. Every engine-registered operator/fitness role (the purity
+// role shapes) and every function on the hiddenalloc hot list must have
+// a *content-independent* RNG draw shape — no draw may execute under a
+// branch whose condition reads genome or population content. A
+// content-dependent draw count makes seeded runs diverge between
+// otherwise-equivalent configurations (the property the golden traces
+// pin dynamically, here proven over the whole call chain for every
+// operator at once).
+//
+// Findings are reported at the offending draw site, which may live in a
+// helper in another package — the caller's folded shape carries the
+// position. Genuine, documented content-dependence (Roulette's
+// degenerate-span fallback draws Intn instead of Float64) is exempted by
+// configuration, not by suppression directives.
+
+import "go/ast"
+
+// DrawShapeConfig parameterizes drawshape.
+type DrawShapeConfig struct {
+	// Roles are the operator/fitness method shapes to check (the purity
+	// roles).
+	Roles []PurityRole
+	// Hot lists additional "pkg/path.Func" entries to check (the
+	// hiddenalloc hot list; receiver-insensitive like allowedFunc).
+	Hot []string
+	// Exempt lists fully qualified node names
+	// ("pga/internal/operators.Roulette.Select" — receiver-sensitive,
+	// unlike Hot) whose content-dependence is documented and accepted.
+	Exempt []string
+}
+
+// DefaultDrawShapeConfig checks the purity roles plus the hiddenalloc
+// hot list, with the one documented exemption.
+func DefaultDrawShapeConfig() DrawShapeConfig {
+	return DrawShapeConfig{
+		Roles: DefaultPurityConfig().Roles,
+		Hot:   DefaultHiddenAllocConfig().Hot,
+		Exempt: []string{
+			// Roulette wheel selection with a degenerate fitness span
+			// falls back to a uniform Intn draw — a documented,
+			// fitness-dependent draw-kind switch pinned by the golden
+			// traces.
+			"pga/internal/operators.Roulette.Select",
+		},
+	}
+}
+
+// DrawShapeRule returns the drawshape analyzer with the default config.
+func DrawShapeRule() *Analyzer { return DrawShapeWith(DefaultDrawShapeConfig()) }
+
+// DrawShapeWith returns a drawshape analyzer for cfg.
+func DrawShapeWith(cfg DrawShapeConfig) *Analyzer {
+	return &Analyzer{
+		Name: "drawshape",
+		Doc: "requires operator/fitness roles and hot-listed functions to have " +
+			"content-independent RNG draw shapes: no draw (through any call chain) " +
+			"may be guarded by genome or population content",
+		Run: func(pass *Pass) {
+			if pass.Facts == nil {
+				return
+			}
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if !drawShapeChecked(pass, fd, &cfg) {
+						continue
+					}
+					n := pass.Facts.Graph.NodeOf(fd)
+					if n == nil {
+						continue
+					}
+					if exemptNode(cfg.Exempt, n.Name) {
+						continue
+					}
+					shape := pass.Facts.DrawShape(n)
+					if shape == nil {
+						continue
+					}
+					for _, pos := range shape.ContentDep {
+						pass.Reportf(pos, "drawshape",
+							"content-dependent RNG draw reachable from %s (shape %s): the draw executes only under a condition that reads genome/population content, so seeded runs diverge with population state",
+							n.Name, shape)
+					}
+				}
+			}
+		},
+	}
+}
+
+// drawShapeChecked reports whether fd is in the rule's scope: a purity
+// role method or a hot-listed function.
+func drawShapeChecked(pass *Pass, fd *ast.FuncDecl, cfg *DrawShapeConfig) bool {
+	if allowedFunc(cfg.Hot, pass.PkgPath, fd.Name.Name) {
+		return true
+	}
+	if fd.Recv == nil {
+		return false
+	}
+	for i := range cfg.Roles {
+		role := &cfg.Roles[i]
+		if role.Method == fd.Name.Name && roleMatches(pass, fd, role) {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptNode matches a qualified node name against the exemption list
+// (exact, receiver-sensitive).
+func exemptNode(exempt []string, name string) bool {
+	for _, e := range exempt {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}

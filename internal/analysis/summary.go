@@ -122,10 +122,10 @@ type Summary struct {
 
 	// Direct-only facts (never propagated; shared across clone — the rules
 	// read them via Facts.Direct):
-	lockEvents []lockEvent                     // ordered acquire/release/return/panic trace
-	lockEdges  []lockEdge                      // same-body nested acquisitions
+	lockEvents []lockEvent                      // ordered acquire/release/return/panic trace
+	lockEdges  []lockEdge                       // same-body nested acquisitions
 	heldAtCall map[*ast.CallExpr][]types.Object // locks lexically held at each call site
-	wgWaits    []ChanFact                      // WaitGroup.Wait sites
+	wgWaits    []ChanFact                       // WaitGroup.Wait sites
 }
 
 // lockEventKind enumerates the events of the lexical lock walk.
@@ -180,6 +180,10 @@ type Facts struct {
 
 	direct    map[*Node]*Summary
 	summaries map[*Node]*Summary
+
+	// drawShapes holds the symbolic RNG draw shapes (drawsym.go),
+	// computed lazily on the first Facts.DrawShape call.
+	drawShapes map[*Node]*DrawShape
 }
 
 // ComputeFacts builds the call graph and summaries for pkgs.

@@ -1,0 +1,36 @@
+// Package fixgen is an aux fixture for drawshape's cross-package case:
+// (file auxtail.go) a helper whose content-dependent draw is reported through a caller in
+// another package (the caller's folded shape carries this position).
+// Checked as pga/internal/fixgen.
+package fixgen
+
+import rng "pga/internal/fixrng"
+
+// Item is a fixture individual with content.
+type Item struct{ Fitness float64 }
+
+// Queue is a fixture population.
+type Queue struct{ Members []*Item }
+
+// PickTail draws only when the fitness mass is degenerate — the draw
+// count depends on population content.
+func PickTail(q *Queue, r *rng.Source) int {
+	total := 0.0
+	for _, it := range q.Members {
+		total += it.Fitness
+	}
+	if total <= 0 {
+		return r.Intn(len(q.Members)) // want drawshape
+	}
+	return 0
+}
+
+// PickHead is the content-independent counterpart: the guard is
+// structural (a length), so the draw always happens for non-empty
+// queues of the same size regardless of fitness.
+func PickHead(q *Queue, r *rng.Source) int {
+	if len(q.Members) > 1 {
+		return r.Intn(len(q.Members))
+	}
+	return 0
+}

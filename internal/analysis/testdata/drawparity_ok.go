@@ -1,0 +1,48 @@
+// Fixture for drawparity (ok): pairs whose members spell their loops
+// differently but consume identical draw shapes, and a recursive pair
+// whose shapes are Incomplete — skipped optimistically rather than
+// guessed at. Checked as pga/internal/pairfix2; the test wires these
+// names in via a custom DrawParityConfig.
+package fixture
+
+import rng "pga/internal/fixrng"
+
+// Vec is a fixture vector genome.
+type Vec struct{ Genes []float64 }
+
+// Walk draws once per gene with a three-clause loop: shape n×Float64.
+func Walk(v *Vec, r *rng.Source) {
+	for i := 0; i < len(v.Genes); i++ {
+		if r.Float64() < 0.5 {
+			v.Genes[i] = 0
+		}
+	}
+}
+
+// WalkInto draws once per gene with a range loop over a different
+// parameter: same shape n×Float64, so the pair is clean.
+func WalkInto(dst, v *Vec, r *rng.Source) {
+	for i := range dst.Genes {
+		if r.Float64() < 0.5 {
+			dst.Genes[i] = v.Genes[i]
+		}
+	}
+}
+
+// Rec recurses; its shape is Incomplete (a draw count the summary
+// cannot close over), so parity is skipped for the pair.
+func Rec(n int, r *rng.Source) {
+	if n > 0 {
+		_ = r.Uint64()
+		Rec(n-1, r)
+	}
+}
+
+// RecInto recurses with a different draw kind; still Incomplete, still
+// skipped — drawparity never reports on shapes it cannot prove.
+func RecInto(n int, r *rng.Source) {
+	if n > 0 {
+		_ = r.Intn(n)
+		RecInto(n-1, r)
+	}
+}

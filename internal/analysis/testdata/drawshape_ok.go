@@ -1,0 +1,59 @@
+// Fixture for drawshape (ok): role methods and a hot-listed function
+// whose draws are unconditional, loop-scaled, or guarded only by
+// structural conditions (lengths, parameters, other RNG draws) — all
+// content-independent shapes. Checked as pga/internal/operators.
+package fixture
+
+import rng "pga/internal/fixrng"
+
+// Genome carries content fields; none of the code below branches on
+// them before drawing.
+type Genome struct {
+	Genes   []float64
+	Fitness float64
+}
+
+// Individual and Population mirror the engine's shapes.
+type Individual struct{ Fitness float64 }
+
+// Population is a fixture population.
+type Population struct{ Members []*Individual }
+
+// Direction satisfies the Select role's second parameter.
+type Direction int
+
+// OkMut draws per gene; the per-gene draw is guarded by another RNG
+// draw, which is random but not content-dependent.
+type OkMut struct{ P float64 }
+
+// Mutate matches the Mutate role: shape n×Float64 + n·cond×Float64.
+func (m OkMut) Mutate(g Genome, r *rng.Source) {
+	for i := range g.Genes {
+		if r.Float64() < m.P {
+			g.Genes[i] += r.Float64()
+		}
+	}
+}
+
+// OkSel draws exactly once regardless of fitness values; the guard is a
+// structural length check.
+type OkSel struct{}
+
+// Select matches the Select role: shape 1×Intn behind len().
+func (OkSel) Select(pop *Population, d Direction, r *rng.Source) int {
+	if len(pop.Members) > 1 {
+		return r.Intn(len(pop.Members))
+	}
+	return 0
+}
+
+// CrossInto is hot-listed; a parameter-scaled unconditional draw loop
+// is content-independent (shape n×Uint64 with n = len of the gene
+// slice).
+func CrossInto(a, b Genome, r *rng.Source) float64 {
+	acc := 0.0
+	for i := 0; i < len(a.Genes); i++ {
+		acc += float64(r.Uint64())
+	}
+	return acc
+}

@@ -1,13 +1,3 @@
-// Package equiv pins the seeded evolution trajectories of every engine
-// family as golden testdata. The zero-allocation hot-path rework (double
-// buffering, in-place operators, per-engine scratch) is a pure
-// mechanical-sympathy change: for a given seed it must consume the exact
-// same RNG draws and produce bit-for-bit identical best-fitness traces.
-// These tests are the proof. The golden file was captured from the
-// allocating implementation before the rewrite; regenerate (only when a
-// trajectory change is intended and reviewed) with:
-//
-//	go test -run TestGoldenTraces -update ./internal/equiv
 package equiv
 
 import (
@@ -17,357 +7,31 @@ import (
 	"path/filepath"
 	"testing"
 
-	"pga/internal/cellular"
 	"pga/internal/core"
 	"pga/internal/ga"
-	"pga/internal/island"
-	"pga/internal/migration"
 	"pga/internal/operators"
 	"pga/internal/problems"
 	"pga/internal/rng"
-	"pga/internal/topology"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata golden traces")
 
-// trace is one scenario's recorded trajectory: the per-generation global
-// best fitness plus the final evaluation count. Fitness values are stored
-// as float64 in JSON, which round-trips exactly, so comparison is
-// bit-for-bit.
-type trace struct {
-	Best        []float64 `json:"best"`
-	Evaluations int64     `json:"evaluations"`
-}
-
-const gens = 20
-
-// engineTrace runs eng for gens steps recording the best fitness after
-// every step (including the initial population at index 0).
-func engineTrace(eng ga.Engine) trace {
-	dir := eng.Problem().Direction()
-	tr := trace{Best: make([]float64, 0, gens+1)}
-	tr.Best = append(tr.Best, eng.Population().BestFitness(dir))
-	for g := 0; g < gens; g++ {
-		eng.Step()
-		tr.Best = append(tr.Best, eng.Population().BestFitness(dir))
-	}
-	tr.Evaluations = eng.Evaluations()
-	return tr
-}
-
-// islandTrace runs an island model and converts its Trace to a trace.
-func islandTrace(res *island.Result) trace {
-	tr := trace{Best: make([]float64, 0, len(res.Trace))}
-	for _, p := range res.Trace {
-		tr.Best = append(tr.Best, p.Best)
-	}
-	tr.Evaluations = res.Evaluations
-	return tr
-}
-
-// scenarios enumerates every engine family and operator combination whose
-// trajectory is pinned. Names are stable keys in the golden file.
-func scenarios() map[string]func() trace {
-	qap := problems.NewQAP(12, 7)
-	return map[string]func() trace{
-		// Generational engine across representations and operators.
-		"generational/onemax-1point-tournament": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: problems.OneMax{N: 64}, PopSize: 40,
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.OnePoint{}, Mutator: operators.BitFlip{},
-				RNG: rng.New(11),
-			}))
-		},
-		"generational/onemax-uniform-gap-elitism": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: problems.OneMax{N: 64}, PopSize: 41, // odd: exercises the discarded-offspring path
-				Selector:  operators.Tournament{K: 3},
-				Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-				GenGap: 0.5, Elitism: 4,
-				RNG: rng.New(12),
-			}))
-		},
-		"generational/onemax-2point-roulette": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: problems.OneMax{N: 48}, PopSize: 30,
-				Selector:  operators.Roulette{},
-				Crossover: operators.TwoPoint{}, Mutator: operators.BitFlip{},
-				RNG: rng.New(13),
-			}))
-		},
-		"generational/sphere-sbx-polynomial": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: problems.Sphere(8), PopSize: 30,
-				Selector:  operators.Tournament{K: 3},
-				Crossover: operators.SBX{}, Mutator: operators.Polynomial{},
-				RNG: rng.New(14),
-			}))
-		},
-		"generational/sphere-blx-gauss-rank": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: problems.Sphere(6), PopSize: 24,
-				Selector:  operators.LinearRank{},
-				Crossover: operators.BLX{}, Mutator: operators.Gaussian{},
-				RNG: rng.New(15),
-			}))
-		},
-		"generational/rastrigin-arith-reset-trunc": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: problems.Rastrigin(6), PopSize: 24,
-				Selector:  operators.Truncation{},
-				Crossover: operators.Arithmetic{}, Mutator: operators.UniformReset{},
-				RNG: rng.New(16),
-			}))
-		},
-		"generational/qap-ox-inversion": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: qap, PopSize: 30,
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.OX{}, Mutator: operators.Inversion{},
-				RNG: rng.New(17),
-			}))
-		},
-		"generational/qap-pmx-swap": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: qap, PopSize: 30,
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.PMX{}, Mutator: operators.Swap{},
-				RNG: rng.New(18),
-			}))
-		},
-		"generational/qap-cx-scramble": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: qap, PopSize: 30,
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.CX{}, Mutator: operators.Scramble{},
-				RNG: rng.New(19),
-			}))
-		},
-		"generational/qap-erx-insertion": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: qap, PopSize: 20,
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.ERX{}, Mutator: operators.Insertion{},
-				RNG: rng.New(20),
-			}))
-		},
-		// Pins the in-place ERX path (PR 4) under rank selection, whose
-		// scratch-based ranking shares the same Scratch as the ERX
-		// adjacency table.
-		"generational/qap-erx-rank-swap": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: qap, PopSize: 24,
-				Selector:  operators.LinearRank{},
-				Crossover: operators.ERX{}, Mutator: operators.Swap{},
-				RNG: rng.New(25),
-			}))
-		},
-
-		// Word-wise operators on the packed representation. These draw one
-		// uint64 per 64-bit word rather than one decision per bit, so they
-		// have their own pinned trajectories (intentionally different RNG
-		// consumption from the bit-wise operators above).
-		"generational/onemax-uniformword-blockflip": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: problems.OneMax{N: 96}, PopSize: 40,
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.UniformWord{}, Mutator: operators.BlockFlip{},
-				RNG: rng.New(51),
-			}))
-		},
-		"generational/onemax-kpointword-blockflip": func() trace {
-			return engineTrace(ga.NewGenerational(ga.Config{
-				Problem: problems.OneMax{N: 100}, PopSize: 40, // N % 64 != 0: tail-word path
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.KPointWord{K: 2}, Mutator: operators.BlockFlip{K: 5},
-				RNG: rng.New(52),
-			}))
-		},
-		"steadystate/royalroad-uniformword-blockflip": func() trace {
-			return engineTrace(ga.NewSteadyState(ga.Config{
-				Problem: problems.RoyalRoad{Blocks: 8, K: 8}, PopSize: 40,
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.UniformWord{}, Mutator: operators.BlockFlip{},
-				RNG: rng.New(53),
-			}, true))
-		},
-		"cellular/onemax-kpointword-sync-L5": func() trace {
-			return engineTrace(cellular.New(cellular.Config{
-				Problem: problems.OneMax{N: 72}, Rows: 6, Cols: 6,
-				Crossover: operators.KPointWord{K: 1}, Mutator: operators.BlockFlip{},
-				Update: cellular.Synchronous, Neighborhood: cellular.VonNeumann,
-				RNG: rng.New(54),
-			}))
-		},
-
-		// Steady-state engine, both replacement policies.
-		"steadystate/onemax-worst": func() trace {
-			return engineTrace(ga.NewSteadyState(ga.Config{
-				Problem: problems.OneMax{N: 64}, PopSize: 40,
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-				RNG: rng.New(21),
-			}, true))
-		},
-		"steadystate/onemax-random": func() trace {
-			return engineTrace(ga.NewSteadyState(ga.Config{
-				Problem: problems.OneMax{N: 64}, PopSize: 40,
-				Selector:  operators.Roulette{},
-				Crossover: operators.OnePoint{}, Mutator: operators.BitFlip{},
-				RNG: rng.New(22),
-			}, false))
-		},
-		"steadystate/sphere-worst": func() trace {
-			return engineTrace(ga.NewSteadyState(ga.Config{
-				Problem: problems.Sphere(8), PopSize: 30,
-				Selector:  operators.Tournament{K: 3},
-				Crossover: operators.SBX{}, Mutator: operators.Polynomial{},
-				RNG: rng.New(23),
-			}, true))
-		},
-
-		// Shared-memory parallel-reproduction engine: the trace must be
-		// identical for any worker count with the same seed split, so pin
-		// two counts.
-		"parallel/onemax-4workers": func() trace {
-			return engineTrace(ga.NewParallelGenerational(ga.Config{
-				Problem: problems.OneMax{N: 64}, PopSize: 40,
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-				RNG: rng.New(24),
-			}, 4))
-		},
-		"parallel/onemax-1worker": func() trace {
-			return engineTrace(ga.NewParallelGenerational(ga.Config{
-				Problem: problems.OneMax{N: 64}, PopSize: 40,
-				Selector:  operators.Tournament{K: 2},
-				Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-				RNG: rng.New(24),
-			}, 1))
-		},
-
-		// Cellular engine: every update policy, all neighbourhoods.
-		"cellular/onemax-sync-L5": func() trace {
-			return engineTrace(cellular.New(cellular.Config{
-				Problem: problems.OneMax{N: 48}, Rows: 6, Cols: 6,
-				Crossover: operators.OnePoint{}, Mutator: operators.BitFlip{},
-				Update: cellular.Synchronous, Neighborhood: cellular.VonNeumann,
-				RNG: rng.New(31),
-			}))
-		},
-		"cellular/onemax-ls-C9": func() trace {
-			return engineTrace(cellular.New(cellular.Config{
-				Problem: problems.OneMax{N: 48}, Rows: 6, Cols: 6,
-				Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-				Update: cellular.LineSweep, Neighborhood: cellular.Moore,
-				RNG: rng.New(32),
-			}))
-		},
-		"cellular/onemax-frs-L9": func() trace {
-			return engineTrace(cellular.New(cellular.Config{
-				Problem: problems.OneMax{N: 48}, Rows: 6, Cols: 6,
-				Crossover: operators.TwoPoint{}, Mutator: operators.BitFlip{},
-				Update: cellular.FixedRandomSweep, Neighborhood: cellular.Linear9,
-				RNG: rng.New(33),
-			}))
-		},
-		"cellular/onemax-nrs-L5": func() trace {
-			return engineTrace(cellular.New(cellular.Config{
-				Problem: problems.OneMax{N: 48}, Rows: 6, Cols: 6,
-				Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-				Update: cellular.NewRandomSweep, Neighborhood: cellular.VonNeumann,
-				RNG: rng.New(34),
-			}))
-		},
-		"cellular/sphere-uc-L5": func() trace {
-			return engineTrace(cellular.New(cellular.Config{
-				Problem: problems.Sphere(6), Rows: 6, Cols: 6,
-				Crossover: operators.BLX{}, Mutator: operators.Gaussian{},
-				Update: cellular.UniformChoice, Neighborhood: cellular.VonNeumann,
-				RNG: rng.New(35),
-			}))
-		},
-
-		// Island model: lockstep-sequential and sync-parallel execution of
-		// the same configuration must both replay (and match each other's
-		// RNG usage is intentionally not compared — each mode is pinned
-		// separately).
-		"islands/sequential-ring-generational": func() trace {
-			m := island.New(island.Config{
-				Topology: topology.Ring(4),
-				Policy:   migration.Policy{Interval: 5, Count: 2},
-				NewEngine: func(_ int, r *rng.Source) ga.Engine {
-					return ga.NewGenerational(ga.Config{
-						Problem: problems.OneMax{N: 64}, PopSize: 20,
-						Selector:  operators.Tournament{K: 2},
-						Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-						RNG: r,
-					})
-				},
-				Seed: 41,
-			})
-			return islandTrace(m.RunSequential(core.MaxGenerations(gens), true))
-		},
-		"islands/syncparallel-ring-generational": func() trace {
-			m := island.New(island.Config{
-				Topology: topology.Ring(4),
-				Policy:   migration.Policy{Interval: 5, Count: 2, Sync: true},
-				NewEngine: func(_ int, r *rng.Source) ga.Engine {
-					return ga.NewGenerational(ga.Config{
-						Problem: problems.OneMax{N: 64}, PopSize: 20,
-						Selector:  operators.Tournament{K: 2},
-						Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-						RNG: r,
-					})
-				},
-				Seed: 41,
-			})
-			return islandTrace(m.RunParallel(gens, true))
-		},
-		"islands/sequential-biring-steadystate": func() trace {
-			m := island.New(island.Config{
-				Topology: topology.BiRing(3),
-				Policy:   migration.Policy{Interval: 4, Count: 1},
-				NewEngine: func(_ int, r *rng.Source) ga.Engine {
-					return ga.NewSteadyState(ga.Config{
-						Problem: problems.Sphere(6), PopSize: 16,
-						Selector:  operators.Tournament{K: 2},
-						Crossover: operators.SBX{}, Mutator: operators.Polynomial{},
-						RNG: r,
-					}, true)
-				},
-				Seed: 42,
-			})
-			return islandTrace(m.RunSequential(core.MaxGenerations(gens), true))
-		},
-		"islands/sequential-ring-cellular": func() trace {
-			m := island.New(island.Config{
-				Topology: topology.Ring(3),
-				Policy:   migration.Policy{Interval: 5, Count: 2},
-				NewEngine: func(_ int, r *rng.Source) ga.Engine {
-					return cellular.New(cellular.Config{
-						Problem: problems.OneMax{N: 48}, Rows: 4, Cols: 4,
-						Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-						Update: cellular.LineSweep,
-						RNG:    r,
-					})
-				},
-				Seed: 43,
-			})
-			return islandTrace(m.RunSequential(core.MaxGenerations(gens), true))
-		},
-	}
-}
-
 const goldenFile = "golden_traces.json"
 
-// TestGoldenTraces regenerates every scenario and compares it bit-for-bit
-// against the pinned golden trajectory.
+// TestGoldenTraces regenerates every scenario and compares it
+// bit-for-bit against the pinned golden trajectory. The golden file was
+// captured from the allocating implementation before the zero-allocation
+// rework; regenerate (only when a trajectory change is intended and
+// reviewed) with:
+//
+//	go test -run TestGoldenTraces -update ./internal/equiv
 func TestGoldenTraces(t *testing.T) {
-	got := map[string]trace{}
-	for name, run := range scenarios() {
-		got[name] = run()
+	got := map[string]Trace{}
+	for _, sc := range Scenarios() {
+		if _, dup := got[sc.Name]; dup {
+			t.Fatalf("%s: duplicate scenario name", sc.Name)
+		}
+		got[sc.Name] = sc.Run()
 	}
 
 	path := filepath.Join("testdata", goldenFile)
@@ -389,7 +53,7 @@ func TestGoldenTraces(t *testing.T) {
 	if err != nil {
 		t.Fatalf("read golden traces (run with -update to create): %v", err)
 	}
-	var want map[string]trace
+	var want map[string]Trace
 	if err := json.Unmarshal(raw, &want); err != nil {
 		t.Fatalf("parse golden traces: %v", err)
 	}
@@ -417,6 +81,26 @@ func TestGoldenTraces(t *testing.T) {
 	for name := range got {
 		if _, ok := want[name]; !ok {
 			t.Errorf("%s: scenario not pinned in golden file (run with -update)", name)
+		}
+	}
+}
+
+// TestScenarioOpsAreRegistered guards the tracecover inputs: every
+// operator name a scenario claims to exercise must exist in the operator
+// registry, so coverage claims cannot rot through renames.
+func TestScenarioOpsAreRegistered(t *testing.T) {
+	known := map[string]bool{}
+	for _, op := range operators.RegisteredOperators() {
+		known[operators.OperatorTypeName(op)] = true
+	}
+	for _, sc := range Scenarios() {
+		if len(sc.Ops) == 0 {
+			t.Errorf("%s: scenario lists no operators", sc.Name)
+		}
+		for _, op := range sc.Ops {
+			if !known[op] {
+				t.Errorf("%s: claims unregistered operator %q", sc.Name, op)
+			}
 		}
 	}
 }

@@ -147,6 +147,7 @@ func (p *layerProblem) Direction() core.Direction { return p.mf.Direction() }
 func (p *layerProblem) NewGenome(r *rng.Source) core.Genome {
 	return p.mf.NewGenome(r)
 }
+
 //pgalint:ignore purity cost/evals accounting adapter: each deme owns its layerProblem, and the pointees are aggregated only after Run joins every deme
 func (p *layerProblem) Evaluate(g core.Genome) float64 {
 	*p.cost += p.mf.CostAt(p.level)

@@ -147,14 +147,11 @@ func New(cfg Config) *Model {
 	}
 	master := rng.New(cfg.Seed)
 	m := &Model{
-		cfg:        cfg,
-		engines:    make([]ga.Engine, n),
-		engineRNGs: make([]*rng.Source, n),
-		migRNGs:    make([]*rng.Source, n),
+		cfg:     cfg,
+		engines: make([]ga.Engine, n),
 	}
+	m.engineRNGs, m.migRNGs = newDemeStreams(master, n)
 	for i := 0; i < n; i++ {
-		m.engineRNGs[i] = master.Split()
-		m.migRNGs[i] = master.Split()
 		m.engines[i] = cfg.NewEngine(i, m.engineRNGs[i])
 	}
 	// The restart stream is split last, so its presence does not perturb
@@ -163,6 +160,22 @@ func New(cfg Config) *Model {
 	m.problem = m.engines[0].Problem()
 	m.dir = m.problem.Direction()
 	return m
+}
+
+// newDemeStreams splits the per-deme RNG streams off the master source:
+// engine stream then migration stream, per deme in id order. WireStreams
+// performs the identical split for one-island-per-process runs, so a
+// wire run reproduces the in-process streams bit-for-bit — the pair is
+// declared in DrawPairs and proven shape-identical by pgalint's
+// drawparity rule.
+func newDemeStreams(master *rng.Source, n int) (engineRNGs, migRNGs []*rng.Source) {
+	engineRNGs = make([]*rng.Source, n)
+	migRNGs = make([]*rng.Source, n)
+	for i := 0; i < n; i++ {
+		engineRNGs[i] = master.Split()
+		migRNGs[i] = master.Split()
+	}
+	return engineRNGs, migRNGs
 }
 
 // Demes returns the number of demes.

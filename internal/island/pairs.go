@@ -1,0 +1,18 @@
+package island
+
+import "pga/internal/core"
+
+// DrawPairs returns this package's RNG-draw equivalence pairs (see
+// core.DrawPair): the in-process deme seed split and the wire-mode one
+// must fork the master stream identically, or a distributed run stops
+// reproducing its in-process twin.
+func DrawPairs() []core.DrawPair {
+	return []core.DrawPair{
+		{
+			A:    "pga/internal/island.newDemeStreams",
+			B:    "pga/internal/island.WireStreams",
+			Test: "TestWireStreamsMatchInProcessSplit",
+			Why:  "a wire run over n islands must give every island the same engine/migration streams its deme would have had in-process",
+		},
+	}
+}

@@ -1,0 +1,61 @@
+package operators
+
+import "pga/internal/core"
+
+// DrawPairs returns this package's RNG-draw equivalence pairs: every
+// allocating operator and its in-place variant (see core.DrawPair). The
+// engines pick between the members at runtime (CrossInto/SelectWith
+// dispatch), so the pairs must consume identical draw sequences —
+// statically proven by pgalint's drawparity rule, dynamically pinned by
+// the golden traces `pgalint -tracecover` audits against.
+func DrawPairs() []core.DrawPair {
+	const ops = "pga/internal/operators."
+	var pairs []core.DrawPair
+	for _, c := range []struct {
+		op   string
+		test string
+	}{
+		{op: "OnePoint"},
+		{op: "TwoPoint"},
+		{op: "KPoint"},
+		{op: "Uniform"},
+		{op: "Arithmetic"},
+		{op: "BLX"},
+		{op: "SBX"},
+		{op: "OX"},
+		{op: "PMX"},
+		{op: "CX"},
+		{op: "ERX", test: "TestERXCrossIntoMatchesCross"},
+		{op: "UniformWord", test: "TestUniformWordCrossIntoMatchesCross"},
+		{op: "KPointWord", test: "TestKPointWordCrossIntoMatchesCross"},
+	} {
+		pairs = append(pairs, core.DrawPair{
+			A:    ops + c.op + ".Cross",
+			B:    ops + c.op + ".CrossInto",
+			Op:   c.op,
+			Test: c.test,
+			Why:  "operators.CrossInto substitutes the in-place variant whenever the child genomes are reusable",
+		})
+	}
+	pairs = append(pairs,
+		core.DrawPair{
+			A:   ops + "LinearRank.Select",
+			B:   ops + "LinearRank.SelectScratch",
+			Op:  "LinearRank",
+			Why: "SelectWith substitutes the scratch variant whenever the engine owns a Scratch",
+		},
+		core.DrawPair{
+			A:   ops + "Truncation.Select",
+			B:   ops + "Truncation.SelectScratch",
+			Op:  "Truncation",
+			Why: "SelectWith substitutes the scratch variant whenever the engine owns a Scratch",
+		},
+		core.DrawPair{
+			A:    ops + "SUS",
+			B:    ops + "SUSInto",
+			Test: "TestSUSIntoMatchesSUS",
+			Why:  "SUSInto is the allocation-free batch selection path; callers switch on scratch availability",
+		},
+	)
+	return pairs
+}

@@ -1,0 +1,71 @@
+package operators
+
+import (
+	"testing"
+
+	"pga/internal/core"
+	"pga/internal/rng"
+)
+
+// TestSUSIntoMatchesSUS is the dynamic proof for the SUS/SUSInto
+// equivalence pair declared in DrawPairs(): same-seeded streams, both
+// directions, degenerate (flat-fitness) and spread populations — the
+// chosen indices and the RNG draw sequences must match exactly.
+func TestSUSIntoMatchesSUS(t *testing.T) {
+	pops := map[string]*core.Population{
+		"spread": popWithFitness(3, 1, 4, 1, 5, 9, 2, 6),
+		"flat":   popWithFitness(2, 2, 2, 2, 2),
+		"single": popWithFitness(7),
+	}
+	for name, pop := range pops {
+		for _, d := range []core.Direction{core.Maximize, core.Minimize} {
+			for _, count := range []int{1, 3, pop.Len(), 2 * pop.Len()} {
+				for seed := uint64(1); seed <= 5; seed++ {
+					r1 := rng.New(seed * 31)
+					want := SUS(pop, d, count, r1)
+
+					r2 := rng.New(seed * 31)
+					got := SUSInto(make([]int, count), pop, d, r2)
+
+					if len(got) != len(want) {
+						t.Fatalf("%s d=%v count=%d seed=%d: SUSInto returned %d indices, SUS %d",
+							name, d, count, seed, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s d=%v count=%d seed=%d: index %d is %d, SUS chose %d",
+								name, d, count, seed, i, got[i], want[i])
+						}
+					}
+					if r1.Uint64() != r2.Uint64() {
+						t.Fatalf("%s d=%v count=%d seed=%d: RNG streams diverge after selection",
+							name, d, count, seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRegisteredOperatorsComplete guards the operator registry: every
+// Selector/Crossover/Mutator type in this package (compile-time checked
+// elsewhere via the interface assertion blocks) must appear exactly once,
+// and names must be unique — tracecover keys scenarios by these names.
+func TestRegisteredOperatorsComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, op := range RegisteredOperators() {
+		name := OperatorTypeName(op)
+		if name == "" {
+			t.Errorf("operator %T renders an empty type name", op)
+		}
+		if seen[name] {
+			t.Errorf("operator %s registered twice", name)
+		}
+		seen[name] = true
+	}
+	for _, want := range []string{"Tournament", "KPoint", "ERX", "UniformWord", "BlockFlip", "Truncation"} {
+		if !seen[want] {
+			t.Errorf("operator %s missing from RegisteredOperators", want)
+		}
+	}
+}

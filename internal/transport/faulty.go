@@ -127,10 +127,10 @@ func (s FaultSpec) withDefaults() FaultSpec {
 // the real wire.
 func FaultsFromLink(l LinkFaults) FaultSpec { return FaultSpec{Link: l} }
 
-// heldBatch is a delayed batch awaiting release.
+// heldBatch is a delayed batch awaiting release. Insertion order is
+// positional in Faulty.held, which breaks due ties deterministically.
 type heldBatch struct {
 	due      uint64
-	order    uint64 // insertion order breaks due ties deterministically
 	dest     int
 	migrants []*core.Individual
 	dup      bool
@@ -144,11 +144,17 @@ type Faulty struct {
 	spec  FaultSpec
 	r     *rng.Source
 
-	tick   uint64
-	seq    uint64
-	order  uint64
-	held   []heldBatch
-	events strings.Builder
+	tick uint64
+	seq  uint64
+	// held is a fixed-capacity queue allocated once at construction: each
+	// logical tick holds at most one new batch and releaseDue drains
+	// everything due at the top of every Send, so at most MaxDelay batches
+	// survive a release plus the one this tick may add. heldLen is the
+	// live prefix; slots beyond it are zeroed so migrant batches are not
+	// retained past release.
+	held    []heldBatch
+	heldLen int
+	events  strings.Builder
 
 	sent, dropped int64
 }
@@ -161,7 +167,11 @@ var (
 // NewFaulty wraps inner with spec, drawing every stochastic decision
 // from a stream seeded with seed.
 func NewFaulty(inner Endpoint, spec FaultSpec, seed uint64) *Faulty {
-	return &Faulty{inner: inner, spec: spec.withDefaults(), r: rng.New(seed)}
+	spec = spec.withDefaults()
+	return &Faulty{
+		inner: inner, spec: spec, r: rng.New(seed),
+		held: make([]heldBatch, spec.MaxDelay+1),
+	}
 }
 
 // Self implements Endpoint.
@@ -242,12 +252,15 @@ func (f *Faulty) Send(dest int, migrants []*core.Individual) bool {
 		if jit > 0 {
 			f.event("%06d delay=%d dst=%d seq=%d dup=%v", f.tick, delay, dest, f.seq, dup)
 		}
-		f.order++
-		//pgalint:ignore boundedres at most one batch is held per logical tick and releaseDue drains everything due, so held is bounded by MaxDelay ticks
-		f.held = append(f.held, heldBatch{
-			due: f.tick + uint64(delay), order: f.order,
+		// Indexed write into the fixed queue: releaseDue just drained
+		// everything due, so at most MaxDelay earlier batches remain and
+		// this slot always exists (an overflow would be an invariant
+		// breach worth the panic).
+		f.held[f.heldLen] = heldBatch{
+			due:  f.tick + uint64(delay),
 			dest: dest, migrants: migrants, dup: dup,
-		})
+		}
+		f.heldLen++
 		return true
 	}
 	f.event("%06d deliver dst=%d seq=%d dup=%v", f.tick, dest, f.seq, dup)
@@ -272,26 +285,22 @@ func (f *Faulty) forward(dest int, migrants []*core.Individual, dup bool) bool {
 }
 
 // releaseDue forwards held batches whose due tick has arrived, in
-// (due, insertion) order. Crash and partition windows are re-checked at
-// release time: a batch delayed into a partition dies in it.
+// insertion order, compacting the queue in place (kept batches emit no
+// events, so the released-event sequence is identical to a two-pass
+// filter). Crash and partition windows are re-checked at release time:
+// a batch delayed into a partition dies in it.
 func (f *Faulty) releaseDue() {
-	if len(f.held) == 0 {
+	if f.heldLen == 0 {
 		return
 	}
-	kept := f.held[:0]
-	// Stable selection in (due, order): the slice is append-ordered, so
-	// a simple two-pass (collect due, keep rest) preserves order, and
-	// due batches release oldest-first.
-	var due []heldBatch
-	for _, h := range f.held {
-		if h.due <= f.tick {
-			due = append(due, h)
-		} else {
-			kept = append(kept, h)
+	w := 0
+	for i := 0; i < f.heldLen; i++ {
+		h := f.held[i]
+		if h.due > f.tick {
+			f.held[w] = h
+			w++
+			continue
 		}
-	}
-	f.held = kept
-	for _, h := range due {
 		if f.crashed(f.inner.Self()) || f.crashed(h.dest) || f.partitioned(h.dest) {
 			f.dropped++
 			f.event("%06d release-drop dst=%d", f.tick, h.dest)
@@ -300,6 +309,10 @@ func (f *Faulty) releaseDue() {
 		f.event("%06d release dst=%d dup=%v", f.tick, h.dest, h.dup)
 		f.forward(h.dest, h.migrants, h.dup)
 	}
+	for i := w; i < f.heldLen; i++ {
+		f.held[i] = heldBatch{}
+	}
+	f.heldLen = w
 }
 
 // Recv implements Endpoint: releases due held batches (without
@@ -329,9 +342,10 @@ func (f *Faulty) Schedule() []byte { return []byte(f.events.String()) }
 // Close implements Endpoint: undelivered held batches are dropped and
 // counted, then the inner endpoint closes.
 func (f *Faulty) Close() error {
-	for range f.held {
-		f.dropped++
+	f.dropped += int64(f.heldLen)
+	for i := 0; i < f.heldLen; i++ {
+		f.held[i] = heldBatch{}
 	}
-	f.held = nil
+	f.heldLen = 0
 	return f.inner.Close()
 }

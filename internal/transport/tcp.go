@@ -366,7 +366,7 @@ func (t *TCP) runSender(p *tcpPeer) {
 			_ = conn.Close()
 		}
 	}()
-	failures := 0      // consecutive connect failures
+	failures := 0 // consecutive connect failures
 	everConnected := false
 	down := false
 	for {
