@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench perf lint tracecover fuzz
+.PHONY: all build test race bench perf lint tracecover fuzz sweep-smoke
 
 all: build lint test
 
@@ -57,7 +57,20 @@ tracecover:
 	cat tracecover.md
 
 # Short local fuzz passes for the property-tested surfaces: the persist
-# wire decoder and the packed BitString vs its []bool reference model.
+# wire decoder, the packed BitString vs its []bool reference model, and
+# the run-spec parser (structured errors, never panics).
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalPopulation -fuzztime=30s ./internal/persist/
 	$(GO) test -fuzz=FuzzBitStringOps -fuzztime=30s ./internal/genome/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/spec/
+
+# Sweep determinism smoke: validate every checked-in sweep config, then
+# run the smoke sweep twice and require byte-identical result files.
+sweep-smoke:
+	@for f in examples/sweeps/*.json; do \
+		$(GO) run ./cmd/pgarun -config $$f -validate || exit 1; \
+	done
+	$(GO) run ./cmd/pgarun -config examples/sweeps/smoke.json -quiet -out /tmp/sweep-a.json
+	$(GO) run ./cmd/pgarun -config examples/sweeps/smoke.json -quiet -out /tmp/sweep-b.json
+	cmp /tmp/sweep-a.json /tmp/sweep-b.json
+	@echo "sweep-smoke: determinism OK"

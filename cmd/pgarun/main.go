@@ -2,188 +2,306 @@
 // problem and prints progress and the final result — the library's
 // command-line front door.
 //
+// The flags are a thin builder over the declarative run-spec layer
+// (internal/spec): every flag combination assembles a RunSpec and runs
+// it through the same Build path a JSON config file uses. -config runs
+// a spec document instead — a single run, or a sweep expanding a base
+// spec over parameter axes into a deterministic run matrix.
+//
 // Usage examples:
 //
 //	pgarun -problem onemax -size 128 -model islands -demes 8
 //	pgarun -problem rastrigin -size 10 -model sequential -gens 500
 //	pgarun -problem trap -size 48 -model cellular -rows 10 -cols 10
 //	pgarun -problem onemax -size 64 -model masterslave -workers 8
+//	pgarun -problem sphere -size 8 -model hga -cost 3000
+//	pgarun -problem zdt1 -size 10 -model sim -scenario 4
+//	pgarun -problem onemax -size 64 -model islands -async -resilience default
+//	pgarun -config examples/sweeps/onemax-demes.json -out results.json
+//	pgarun -config examples/sweeps/onemax-demes.json -validate
 //	pgarun -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"pga/internal/cellular"
 	"pga/internal/core"
-	"pga/internal/ga"
-	"pga/internal/genome"
-	"pga/internal/island"
-	"pga/internal/masterslave"
-	"pga/internal/migration"
-	"pga/internal/operators"
-	"pga/internal/p2p"
 	"pga/internal/problems"
-	"pga/internal/rng"
-	"pga/internal/topology"
+	"pga/internal/spec"
 )
 
 func main() {
-	problem := flag.String("problem", "onemax", "problem key (see -list)")
+	problem := flag.String("problem", "onemax", "problem key (see -list; zdt1/schaffer for -model sim)")
 	size := flag.Int("size", 64, "problem size (bits / dimensions / items)")
-	model := flag.String("model", "islands", "sequential | steadystate | islands | cellular | masterslave | p2p")
+	model := flag.String("model", "islands", "sequential | steadystate | parallel | islands | cellular | masterslave | p2p | hga | sim")
 	demes := flag.Int("demes", 8, "islands: deme count")
 	pop := flag.Int("pop", 50, "population size (per deme for islands)")
 	gens := flag.Int("gens", 300, "maximum generations")
 	interval := flag.Int("interval", 10, "islands: migration interval")
 	migrants := flag.Int("migrants", 2, "islands: migrants per exchange")
-	topo := flag.String("topology", "ring", "islands: ring | biring | star | complete | hypercube | isolated")
+	topo := flag.String("topology", "ring", "islands: ring | biring | star | complete | hypercube | isolated | random")
 	async := flag.Bool("async", false, "islands: asynchronous migration (goroutine mode)")
+	resilience := flag.String("resilience", "", "islands: supervision preset: none | default | eager (implies goroutine mode)")
 	rows := flag.Int("rows", 10, "cellular: grid rows")
 	cols := flag.Int("cols", 10, "cellular: grid cols")
-	workers := flag.Int("workers", 4, "masterslave: worker count")
+	workers := flag.Int("workers", 4, "masterslave/parallel: worker count")
 	peers := flag.Int("peers", 16, "p2p: peer count")
 	churn := flag.Float64("churn", 0, "p2p: per-generation leave probability")
+	cost := flag.Float64("cost", 2000, "hga: precise-evaluation cost budget")
+	scenario := flag.Int("scenario", 1, "sim: scenario number 1-7")
 	seed := flag.Uint64("seed", 1, "random seed")
+	configPath := flag.String("config", "", "run a spec or sweep JSON document instead of flags")
+	validate := flag.Bool("validate", false, "validate the spec/config and exit without running")
+	out := flag.String("out", "", "config runs: write the JSON results to this file (default stdout)")
 	list := flag.Bool("list", false, "list problem keys and exit")
 	quiet := flag.Bool("quiet", false, "suppress per-generation progress")
 	flag.Parse()
 
 	if *list {
 		for _, k := range problems.Keys() {
-			spec, _ := problems.Lookup(k)
-			fmt.Printf("%-12s class=%s\n", k, spec.Class)
+			ps, _ := problems.Lookup(k)
+			fmt.Printf("%-12s class=%s\n", k, ps.Class)
 		}
 		return
 	}
 
-	spec, err := problems.Lookup(*problem)
+	if *configPath != "" {
+		runConfig(*configPath, *out, *validate, *quiet)
+		return
+	}
+
+	s, err := specFromFlags(flagSpec{
+		problem: *problem, size: *size, model: *model,
+		demes: *demes, pop: *pop, gens: *gens,
+		interval: *interval, migrants: *migrants, topo: *topo,
+		async: *async, resilience: *resilience,
+		rows: *rows, cols: *cols, workers: *workers,
+		peers: *peers, churn: *churn,
+		cost: *cost, scenario: *scenario, seed: *seed,
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pgarun:", err)
-		os.Exit(2)
+		fail(err)
 	}
-	prob := spec.Make(*size, *seed)
+	if *validate {
+		doc, jerr := s.JSON()
+		if jerr != nil {
+			fail(jerr)
+		}
+		fmt.Printf("%s\n", doc)
+		return
+	}
+	runSingle(s, *quiet)
+}
 
-	stop := core.StopCondition(core.MaxGenerations(*gens))
-	if ta, ok := prob.(core.TargetAware); ok {
-		stop = core.AnyOf{
-			core.MaxGenerations(*gens),
-			core.TargetFitness{Target: ta.Optimum(), Dir: prob.Direction()},
-		}
+// flagSpec carries the parsed flag values into the spec builder.
+type flagSpec struct {
+	problem          string
+	size             int
+	model            string
+	demes, pop, gens int
+	interval         int
+	migrants         int
+	topo             string
+	async            bool
+	resilience       string
+	rows, cols       int
+	workers          int
+	peers            int
+	churn            float64
+	cost             float64
+	scenario         int
+	seed             uint64
+}
+
+// specFromFlags assembles the RunSpec a flag invocation means. It adds
+// nothing the config path cannot express: the flags are a shorthand for
+// a subset of the spec schema.
+func specFromFlags(f flagSpec) (*spec.RunSpec, error) {
+	model := f.model
+	if model == "sequential" { // historical alias
+		model = spec.ModelGenerational
+	}
+	s := &spec.RunSpec{
+		Model:   model,
+		Problem: spec.ProblemSpec{Name: f.problem, Size: f.size},
+		Seed:    f.seed,
 	}
 
-	xover, mut := operatorsFor(prob)
-	gaCfg := func(r *rng.Source) ga.Config {
-		return ga.Config{
-			Problem: prob, PopSize: *pop,
-			Crossover: xover, Mutator: mut, RNG: r,
-		}
-	}
-	onStep := func(s core.Status) {
-		if !*quiet && s.Generation%25 == 0 {
-			fmt.Printf("gen %4d  best %.6g  evals %d\n", s.Generation, s.BestFitness, s.Evaluations)
-		}
-	}
-
-	switch *model {
-	case "sequential", "steadystate":
-		var e ga.Engine
-		if *model == "sequential" {
-			e = ga.NewGenerational(gaCfg(rng.New(*seed)))
-		} else {
-			e = ga.NewSteadyState(gaCfg(rng.New(*seed)), true)
-		}
-		res := ga.Run(e, ga.RunOptions{Stop: stop, OnStep: onStep})
-		fmt.Println(res)
-	case "masterslave":
-		farm := masterslave.NewFarm(*seed, masterslave.Uniform(*workers))
-		cfg := gaCfg(rng.New(*seed))
-		cfg.Evaluator = farm
-		res := ga.Run(ga.NewGenerational(cfg), ga.RunOptions{Stop: stop, OnStep: onStep})
-		fmt.Println(res)
-		st := farm.Stats()
-		fmt.Printf("farm: %d workers, %d evaluations, %d redispatched\n", *workers, st.Evaluations, st.Redispatched)
-	case "cellular":
-		cfg := cellular.Config{
-			Problem: prob, Rows: *rows, Cols: *cols,
-			Crossover: xover, Mutator: mut,
-			Update: cellular.NewRandomSweep, RNG: rng.New(*seed),
-		}
-		res := ga.Run(cellular.New(cfg), ga.RunOptions{Stop: stop, OnStep: onStep})
-		fmt.Println(res)
-	case "islands":
-		m := island.New(island.Config{
-			Topology: makeTopology(*topo, *demes),
-			Policy:   migration.Policy{Interval: *interval, Count: *migrants, Sync: !*async},
-			NewEngine: func(d int, r *rng.Source) ga.Engine {
-				return ga.NewGenerational(gaCfg(r))
-			},
-			Seed: *seed,
-		})
-		var res *island.Result
-		if *async {
-			res = m.RunParallel(*gens, false)
-		} else {
-			res = m.RunSequential(stop, false)
-		}
-		fmt.Printf("%s: best=%g gens=%d evals=%d solved=%v migrations=%d stop=%q (%v)\n",
-			prob.Name(), res.BestFitness, res.Generations, res.Evaluations,
-			res.Solved, res.Migrations, res.StopReason, res.Elapsed)
-		fmt.Printf("per-deme best: %v\n", res.PerDemeBest)
-	case "p2p":
-		n := p2p.New(p2p.Config{
-			Problem: prob,
-			Peers:   *peers,
-			NewEngine: func(peer int, r *rng.Source) ga.Engine {
-				return ga.NewGenerational(gaCfg(r))
-			},
-			ChurnRate: *churn,
-			Seed:      *seed,
-		})
-		res := n.Run(*gens)
-		fmt.Printf("%s: best=%g gens=%d solved=%v evals=%d peers-alive=%d departures=%d joins=%d messages=%d stop=%q (%v)\n",
-			prob.Name(), res.BestFitness, res.Generations, res.Solved, res.Evaluations,
-			res.AliveAtEnd, res.Departures, res.Joins, res.Messages, res.StopReason, res.Elapsed)
+	switch model {
+	case spec.ModelHGA:
+		s.Budget.Cost = f.cost
 	default:
-		fmt.Fprintf(os.Stderr, "pgarun: unknown model %q\n", *model)
-		os.Exit(2)
+		s.Budget.Generations = f.gens
+	}
+
+	switch model {
+	case spec.ModelCellular:
+		s.Engine.Grid = &spec.GridSpec{Rows: f.rows, Cols: f.cols, Update: "nrs"}
+	case spec.ModelSIM:
+		s.SIM = &spec.SIMSpec{Scenario: f.scenario}
+	default:
+		s.Engine.Pop = f.pop
+	}
+
+	switch model {
+	case spec.ModelParallel:
+		s.Engine.Workers = f.workers
+	case spec.ModelMasterSlave:
+		s.Farm = &spec.FarmSpec{Workers: f.workers}
+	case spec.ModelP2P:
+		s.P2P = &spec.P2PSpec{Peers: f.peers, Churn: f.churn}
+	case spec.ModelIslands:
+		is := &spec.IslandSpec{
+			Demes:      f.demes,
+			Topology:   spec.TopologySpec{Kind: f.topo},
+			Migration:  spec.MigrationSpec{Interval: f.interval, Count: f.migrants, Async: f.async},
+			Resilience: f.resilience,
+		}
+		supervised := f.resilience != "" && f.resilience != "none"
+		if f.async || supervised {
+			is.Mode = "parallel"
+		}
+		s.Islands = is
+	}
+
+	// The flag path has always stopped at the known optimum where one
+	// exists; only the budget-restricted models skip the condition.
+	if stopAtOptimum(s) {
+		s.Budget.TargetOptimum = true
+	}
+
+	if verr := s.Validate(); verr != nil {
+		return nil, verr
+	}
+	return s, nil
+}
+
+// stopAtOptimum reports whether the model accepts a target-optimum stop
+// and the problem has a known optimum.
+func stopAtOptimum(s *spec.RunSpec) bool {
+	switch s.Model {
+	case spec.ModelHGA, spec.ModelP2P, spec.ModelSIM:
+		return false
+	case spec.ModelIslands:
+		if s.Islands != nil && s.Islands.Mode == "parallel" {
+			return false
+		}
+	}
+	ps, err := problems.Lookup(s.Problem.Name)
+	if err != nil {
+		return false // validation will report the unknown problem
+	}
+	_, ok := ps.Make(s.Problem.Size, s.Seed).(core.TargetAware)
+	return ok
+}
+
+// runSingle builds and runs one spec, printing progress and a
+// human-readable summary.
+func runSingle(s *spec.RunSpec, quiet bool) {
+	b, err := spec.Build(*s)
+	if err != nil {
+		fail(err)
+	}
+	onStep := func(st core.Status) {
+		if !quiet && st.Generation%25 == 0 {
+			fmt.Printf("gen %4d  best %.6g  evals %d\n", st.Generation, st.BestFitness, st.Evaluations)
+		}
+	}
+	rep := b.Run(spec.RunOpts{OnStep: onStep})
+	printReport(rep, b)
+}
+
+// printReport renders the model-appropriate summary lines.
+func printReport(rep *spec.Report, b *spec.Built) {
+	fmt.Printf("%s: best=%g gens=%d evals=%d solved=%v stop=%q\n",
+		rep.Problem, rep.Best, rep.Generations, rep.Evaluations, rep.Solved, rep.StopReason)
+	switch rep.Model {
+	case spec.ModelMasterSlave:
+		st := b.Farm.Stats()
+		fmt.Printf("farm: %d workers, %d evaluations, %d redispatched\n",
+			b.Farm.Workers(), st.Evaluations, st.Redispatched)
+	case spec.ModelIslands:
+		fmt.Printf("islands: migrations=%d", rep.Migrations)
+		if rep.Restarts > 0 || len(rep.DeadDemes) > 0 {
+			fmt.Printf(" restarts=%d dead=%v", rep.Restarts, rep.DeadDemes)
+		}
+		fmt.Println()
+	case spec.ModelP2P:
+		fmt.Printf("p2p: alive=%d departures=%d joins=%d\n",
+			rep.AliveAtEnd, rep.Departures, rep.Joins)
+	case spec.ModelHGA:
+		fmt.Printf("hga: cost=%g cost-at-solve=%g\n", rep.Cost, rep.CostAtSolve)
+	case spec.ModelSIM:
+		fmt.Printf("sim: hypervolume=%.6g pareto=%d islands=%d\n",
+			rep.Hypervolume, rep.ParetoSize, rep.Islands)
 	}
 }
 
-// operatorsFor picks canonical operators for the problem's genome type.
-func operatorsFor(p core.Problem) (operators.Crossover, operators.Mutator) {
-	g := p.NewGenome(rng.New(0))
-	switch g.(type) {
-	case *genome.RealVector:
-		return operators.SBX{}, operators.Polynomial{}
-	case *genome.Permutation:
-		return operators.OX{}, operators.Inversion{}
-	case *genome.IntVector:
-		return operators.Uniform{}, operators.UniformReset{}
-	default:
-		return operators.Uniform{}, operators.BitFlip{}
+// runConfig runs (or just validates) a spec/sweep document.
+func runConfig(path, out string, validateOnly, quiet bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	f, perr := spec.ParseFile(data)
+	if perr != nil {
+		fail(perr)
+	}
+
+	if f.Single != nil {
+		if validateOnly {
+			fmt.Printf("%s: valid single-run spec (model %s, problem %s)\n", path, f.Single.Model, f.Single.Problem.Name)
+			return
+		}
+		b, berr := spec.Build(*f.Single)
+		if berr != nil {
+			fail(berr)
+		}
+		rep := b.Run(spec.RunOpts{})
+		writeResults(out, []*spec.Report{rep})
+		return
+	}
+
+	cells, cerr := f.Sweep.Cells()
+	if cerr != nil {
+		fail(cerr)
+	}
+	if validateOnly {
+		fmt.Printf("%s: valid sweep (%d cells × %d axes)\n", path, len(cells), len(f.Sweep.Axes))
+		return
+	}
+	done := 0
+	reports, rerr := f.Sweep.Run(spec.RunOpts{OnStep: func(core.Status) {}})
+	if rerr != nil {
+		fail(rerr)
+	}
+	if !quiet {
+		done = len(reports)
+		fmt.Fprintf(os.Stderr, "pgarun: %d runs complete\n", done)
+	}
+	writeResults(out, reports)
+}
+
+// writeResults marshals the run reports to -out (or stdout).
+func writeResults(out string, reports []*spec.Report) {
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fail(err)
 	}
 }
 
-func makeTopology(name string, n int) topology.Topology {
-	switch name {
-	case "biring":
-		return topology.BiRing(n)
-	case "star":
-		return topology.Star(n)
-	case "complete":
-		return topology.Complete(n)
-	case "hypercube":
-		d := 0
-		for 1<<uint(d) < n {
-			d++
-		}
-		return topology.Hypercube(d)
-	case "isolated":
-		return topology.Isolated(n)
-	default:
-		return topology.Ring(n)
-	}
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pgarun:", err)
+	os.Exit(2)
 }

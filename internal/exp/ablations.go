@@ -6,13 +6,11 @@ import (
 
 	"pga/internal/core"
 	"pga/internal/ga"
-	"pga/internal/island"
-	"pga/internal/migration"
 	"pga/internal/operators"
 	"pga/internal/problems"
 	"pga/internal/rng"
+	"pga/internal/spec"
 	"pga/internal/stats"
-	"pga/internal/topology"
 )
 
 // The A-series ablations probe the design choices DESIGN.md calls out:
@@ -111,25 +109,24 @@ func runA03(w io.Writer, quick bool) {
 	runs := scale(quick, 15, 3)
 	maxGens := scale(quick, 200, 60)
 	blocks := scale(quick, 10, 6)
-	prob := problems.DeceptiveTrap{Blocks: blocks, K: 4}
+	prob := spec.ProblemSpec{Name: "trap", Size: blocks * 4}
 	policies := []struct {
 		name string
-		rep  migration.Replacer
+		key  string
 	}{
-		{"replace-worst", migration.ReplaceWorst{}},
-		{"worst-if-better", migration.ReplaceWorstIfBetter{}},
-		{"replace-random", migration.ReplaceRandom{}},
+		{"replace-worst", "worst"},
+		{"worst-if-better", "worst-if-better"},
+		{"replace-random", "random"},
 	}
 	fprintf(w, "%-16s %-9s %-14s %-12s\n", "integration", "hit-rate", "med-evals", "mean-best")
 	for _, p := range policies {
 		hit, final := runIslandSetup(islandSetup{
-			problem: prob,
-			topo:    topology.Ring,
-			demes:   8,
-			popSize: scale(quick, 20, 10),
-			policy:  migration.Policy{Interval: 10, Count: 2, Replace: p.rep},
-			maxGens: maxGens,
-			runs:    runs,
+			problem:   prob,
+			engine:    demeEngineSpec(scale(quick, 20, 10)),
+			demes:     8,
+			migration: spec.MigrationSpec{Interval: 10, Count: 2, Replace: p.key},
+			maxGens:   maxGens,
+			runs:      runs,
 		})
 		med := 0.0
 		if hit.Hits() > 0 {
@@ -145,21 +142,26 @@ func runA04(w io.Writer, quick bool) {
 	runs := scale(quick, 10, 3)
 	maxGens := scale(quick, 300, 80)
 	bits := scale(quick, 64, 32)
-	prob := problems.OneMax{N: bits}
 	fprintf(w, "%-8s %-9s %-14s %-12s\n", "buffer", "hit-rate", "med-evals", "migr-batches")
 	for _, buf := range []int{1, 4, 16} {
 		var hit stats.HitRate
 		var migs []float64
+		rs := spec.RunSpec{
+			Model:   spec.ModelIslands,
+			Problem: spec.ProblemSpec{Name: "onemax", Size: bits},
+			Engine:  demeEngineSpec(scale(quick, 20, 10)),
+			Islands: &spec.IslandSpec{
+				Demes:     8,
+				Mode:      "parallel",
+				Migration: spec.MigrationSpec{Interval: 5, Count: 2, Async: true, Buffer: buf},
+			},
+			Budget: spec.BudgetSpec{Generations: maxGens},
+		}
 		for r := 0; r < runs; r++ {
-			m := island.New(island.Config{
-				Topology:  topology.Ring(8),
-				Policy:    migration.Policy{Interval: 5, Count: 2, Sync: false, Buffer: buf},
-				NewEngine: demeEngine(prob, scale(quick, 20, 10)),
-				Seed:      uint64(r)*83 + 29,
-			})
-			res := m.RunParallel(maxGens, false)
-			hit.Record(res.Solved, res.SolvedAtEval)
-			migs = append(migs, float64(res.Migrations))
+			rs.Seed = uint64(r)*83 + 29
+			rep := mustBuild(rs).Run(spec.RunOpts{})
+			hit.Record(rep.Solved, rep.SolvedAtEval)
+			migs = append(migs, float64(rep.Migrations))
 		}
 		med := 0.0
 		if hit.Hits() > 0 {

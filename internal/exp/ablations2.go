@@ -3,15 +3,9 @@ package exp
 import (
 	"io"
 
-	"pga/internal/cellular"
 	"pga/internal/core"
-	"pga/internal/ga"
-	"pga/internal/island"
-	"pga/internal/operators"
-	"pga/internal/problems"
-	"pga/internal/rng"
+	"pga/internal/spec"
 	"pga/internal/stats"
-	"pga/internal/topology"
 )
 
 func init() {
@@ -37,19 +31,19 @@ func runA05(w io.Writer, quick bool) {
 	runs := scale(quick, 20, 4)
 	maxGens := scale(quick, 500, 80)
 	blocks := scale(quick, 10, 6)
-	prob := problems.DeceptiveTrap{Blocks: blocks, K: 4}
+	prob := spec.ProblemSpec{Name: "trap", Size: blocks * 4}
+	inst, _ := prob.Instance(0)
 
-	fprintf(w, "8-island ring on %s, %d runs/row; per-deme size sweep\n\n", prob.Name(), runs)
+	fprintf(w, "8-island ring on %s, %d runs/row; per-deme size sweep\n\n", inst.Name(), runs)
 	fprintf(w, "%-12s %-9s %-14s %-14s\n", "total pop", "hit-rate", "med-evals", "mean-best")
 	for _, perDeme := range []int{4, 8, 16, 32, 64} {
 		hit, final := runIslandSetup(islandSetup{
-			problem: prob,
-			topo:    topology.Ring,
-			demes:   8,
-			popSize: perDeme,
-			policy:  migrationEvery(10, 1),
-			maxGens: maxGens,
-			runs:    runs,
+			problem:   prob,
+			engine:    demeEngineSpec(perDeme),
+			demes:     8,
+			migration: migrationEvery(10, 1),
+			maxGens:   maxGens,
+			runs:      runs,
 		})
 		med := 0.0
 		if hit.Hits() > 0 {
@@ -68,8 +62,11 @@ func runA05(w io.Writer, quick bool) {
 func runA06(w io.Writer, quick bool) {
 	gens := scale(quick, 80, 30)
 	bits := scale(quick, 64, 32)
-	prob := problems.DeceptiveTrap{Blocks: bits / 4, K: 4}
+	prob := spec.ProblemSpec{Name: "trap", Size: bits}
+	inst, _ := prob.Instance(0)
 	seed := uint64(9)
+	uniform := func() *spec.OperatorSpec { return &spec.OperatorSpec{Name: "uniform"} }
+	bitflip := func() *spec.OperatorSpec { return &spec.OperatorSpec{Name: "bitflip"} }
 
 	type tracer struct {
 		name   string
@@ -77,11 +74,12 @@ func runA06(w io.Writer, quick bool) {
 	}
 
 	panmictic := func() []float64 {
-		e := ga.NewGenerational(ga.Config{
-			Problem: prob, PopSize: 64,
-			Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-			RNG: rng.New(seed),
-		})
+		e := mustBuild(spec.RunSpec{
+			Model:   spec.ModelGenerational,
+			Problem: prob,
+			Engine:  spec.EngineSpec{Pop: 64, Crossover: uniform(), Mutator: bitflip()},
+			Seed:    seed,
+		}).Engine
 		var ds []float64
 		for g := 0; g < gens; g++ {
 			ds = append(ds, stats.Diversity(e.Population()))
@@ -90,12 +88,13 @@ func runA06(w io.Writer, quick bool) {
 		return ds
 	}
 	islands := func() []float64 {
-		m := island.New(island.Config{
-			Topology:  topology.Ring(4),
-			Policy:    migrationEvery(10, 1),
-			NewEngine: demeEngine(prob, 16),
-			Seed:      seed,
-		})
+		m := mustBuild(spec.RunSpec{
+			Model:   spec.ModelIslands,
+			Problem: prob,
+			Engine:  demeEngineSpec(16),
+			Islands: &spec.IslandSpec{Demes: 4, Migration: migrationEvery(10, 1)},
+			Seed:    seed,
+		}).Islands
 		var ds []float64
 		// Advance one generation per RunSequential call so diversity can be
 		// sampled between generations (each call runs exactly one step).
@@ -110,11 +109,12 @@ func runA06(w io.Writer, quick bool) {
 		return ds
 	}
 	cell := func() []float64 {
-		e := cellular.New(cellular.Config{
-			Problem: prob, Rows: 8, Cols: 8,
-			Crossover: operators.Uniform{}, Mutator: operators.BitFlip{},
-			RNG: rng.New(seed),
-		})
+		e := mustBuild(spec.RunSpec{
+			Model:   spec.ModelCellular,
+			Problem: prob,
+			Engine:  spec.EngineSpec{Grid: &spec.GridSpec{Rows: 8, Cols: 8}, Crossover: uniform(), Mutator: bitflip()},
+			Seed:    seed,
+		}).Engine
 		var ds []float64
 		for g := 0; g < gens; g++ {
 			ds = append(ds, stats.Diversity(e.Population()))
@@ -123,7 +123,7 @@ func runA06(w io.Writer, quick bool) {
 		return ds
 	}
 
-	fprintf(w, "population diversity over %d generations, 64 individuals total, %s\n\n", gens, prob.Name())
+	fprintf(w, "population diversity over %d generations, 64 individuals total, %s\n\n", gens, inst.Name())
 	halfLife := func(ds []float64) int {
 		for g, d := range ds {
 			if d < ds[0]/2 {

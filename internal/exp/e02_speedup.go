@@ -4,8 +4,7 @@ import (
 	"io"
 
 	"pga/internal/cluster"
-	"pga/internal/problems"
-	"pga/internal/topology"
+	"pga/internal/spec"
 )
 
 // E2 — Alba & Troya (2001) reported linear and even super-linear speedup
@@ -34,11 +33,12 @@ func runE02(w io.Writer, quick bool) {
 	runs := scale(quick, 20, 4)
 	maxGens := scale(quick, 800, 150)
 	blocks := scale(quick, 10, 8)
-	prob := problems.DeceptiveTrap{Blocks: blocks, K: 4}
+	prob := spec.ProblemSpec{Name: "trap", Size: blocks * 4}
+	inst, _ := prob.Instance(0)
 	const evalCost = 1e-4 // seconds per evaluation at speed 1 (modelled)
 
 	fprintf(w, "problem=%s  total population=%d  runs/point=%d  (wall-clock columns are modelled: virtual GigE cluster)\n\n",
-		prob.Name(), totalPop, runs)
+		inst.Name(), totalPop, runs)
 	fprintf(w, "%-6s %-9s %-14s %-12s %-12s %-12s %-10s\n",
 		"demes", "hit-rate", "med-evals", "num-speedup", "mod-time(s)", "mod-speedup", "efficiency")
 
@@ -49,13 +49,12 @@ func runE02(w io.Writer, quick bool) {
 			continue
 		}
 		hit, _ := runIslandSetup(islandSetup{
-			problem: prob,
-			topo:    topology.Ring,
-			demes:   k,
-			popSize: totalPop / k,
-			policy:  migrationEvery(10, 2),
-			maxGens: maxGens,
-			runs:    runs,
+			problem:   prob,
+			engine:    demeEngineSpec(totalPop / k),
+			demes:     k,
+			migration: migrationEvery(10, 2),
+			maxGens:   maxGens,
+			runs:      runs,
 		})
 		med := hit.Effort().Median
 		if hit.Hits() == 0 {

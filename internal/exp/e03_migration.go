@@ -5,8 +5,7 @@ import (
 	"io"
 
 	"pga/internal/core"
-	"pga/internal/migration"
-	"pga/internal/topology"
+	"pga/internal/spec"
 )
 
 // E3 — Alba & Troya (2000) studied how the migration policy (frequency
@@ -35,22 +34,17 @@ func runE03(w io.Writer, quick bool) {
 	fprintf(w, "ring of %d islands × %d individuals, %d runs/cell; cells: hit-rate (med-evals) or mean-best for NK\n\n",
 		demes, popSize, runs)
 
-	selectors := []struct {
-		name string
-		sel  migration.Selector
-	}{
-		{"best", migration.SelectBest{}},
-		{"random", migration.SelectRandom{}},
-	}
+	selectors := []string{"best", "random"}
 
 	for _, prob := range problemSpectrum(quick) {
-		fprintf(w, "--- %s ---\n", prob.Name())
+		inst, _ := prob.Instance(0)
+		fprintf(w, "--- %s ---\n", inst.Name())
 		fprintf(w, "%-10s", "interval")
 		for _, s := range selectors {
-			fprintf(w, " %-22s", "migrants="+s.name)
+			fprintf(w, " %-22s", "migrants="+s)
 		}
 		fprintf(w, "\n")
-		_, hasTarget := prob.(core.TargetAware)
+		_, hasTarget := inst.(core.TargetAware)
 		for _, interval := range intervals {
 			label := "isolated"
 			if interval > 0 {
@@ -58,15 +52,13 @@ func runE03(w io.Writer, quick bool) {
 			}
 			fprintf(w, "%-10s", label)
 			for _, s := range selectors {
-				pol := migration.Policy{Interval: interval, Count: 2, Select: s.sel}
 				hit, final := runIslandSetup(islandSetup{
-					problem: prob,
-					topo:    topology.Ring,
-					demes:   demes,
-					popSize: popSize,
-					policy:  pol,
-					maxGens: maxGens,
-					runs:    runs,
+					problem:   prob,
+					engine:    demeEngineSpec(popSize),
+					demes:     demes,
+					migration: spec.MigrationSpec{Interval: interval, Count: 2, Select: s},
+					maxGens:   maxGens,
+					runs:      runs,
 				})
 				if hasTarget {
 					cell := rate(hit)

@@ -3,11 +3,8 @@ package exp
 import (
 	"io"
 
-	"pga/internal/island"
-	"pga/internal/migration"
-	"pga/internal/problems"
+	"pga/internal/spec"
 	"pga/internal/stats"
-	"pga/internal/topology"
 )
 
 // E4 — Alba & Troya (2001) analysed synchronous vs asynchronous parallel
@@ -30,7 +27,6 @@ func runE04(w io.Writer, quick bool) {
 	runs := scale(quick, 10, 3)
 	maxGens := scale(quick, 300, 80)
 	bits := scale(quick, 64, 32)
-	prob := problems.OneMax{N: bits}
 	demes := 8
 	popSize := scale(quick, 20, 10)
 
@@ -41,14 +37,22 @@ func runE04(w io.Writer, quick bool) {
 	for _, sync := range []bool{true, false} {
 		var hit stats.HitRate
 		var finals, elapsed []float64
+		rs := spec.RunSpec{
+			Model:   spec.ModelIslands,
+			Problem: spec.ProblemSpec{Name: "onemax", Size: bits},
+			Engine:  demeEngineSpec(popSize),
+			Islands: &spec.IslandSpec{
+				Demes:     demes,
+				Mode:      "parallel",
+				Migration: spec.MigrationSpec{Interval: 5, Count: 2, Async: !sync, Buffer: 4},
+			},
+			Budget: spec.BudgetSpec{Generations: maxGens},
+		}
 		for r := 0; r < runs; r++ {
-			m := island.New(island.Config{
-				Topology:  topology.Ring(demes),
-				Policy:    migration.Policy{Interval: 5, Count: 2, Sync: sync, Buffer: 4},
-				NewEngine: demeEngine(prob, popSize),
-				Seed:      uint64(r) * 31,
-			})
-			res := m.RunParallel(maxGens, false)
+			rs.Seed = uint64(r) * 31
+			// The report layer drops wall-clock for determinism; drive the
+			// built island model directly to time the barrier structure.
+			res := mustBuild(rs).Islands.RunParallel(maxGens, false)
 			hit.Record(res.Solved, res.SolvedAtEval)
 			finals = append(finals, res.BestFitness)
 			elapsed = append(elapsed, float64(res.Elapsed.Microseconds())/1000)

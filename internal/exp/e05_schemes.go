@@ -3,16 +3,9 @@ package exp
 import (
 	"io"
 
-	"pga/internal/cellular"
-	"pga/internal/core"
-	"pga/internal/ga"
-	"pga/internal/island"
-	"pga/internal/operators"
-	"pga/internal/problems"
-	"pga/internal/rng"
 	"pga/internal/schema"
+	"pga/internal/spec"
 	"pga/internal/stats"
-	"pga/internal/topology"
 )
 
 // E5 — Alba & Troya (2002) comparatively analysed steady-state,
@@ -37,46 +30,40 @@ func runE05(w io.Writer, quick bool) {
 	demes := 4
 	popSize := 25 // cellular uses 5×5
 
-	prob := problems.DeceptiveTrap{Blocks: bits / 4, K: 4}
+	prob := spec.ProblemSpec{Name: "trap", Size: bits}
+	inst, _ := prob.Instance(0)
+	twopoint := func() *spec.OperatorSpec { return &spec.OperatorSpec{Name: "twopoint"} }
+	bitflip := func() *spec.OperatorSpec { return &spec.OperatorSpec{Name: "bitflip"} }
 
+	// Each scheme as a deme-engine spec; engine.type doubles as the
+	// standalone model name for the schema-growth measurement.
 	schemes := []struct {
-		name string
-		mk   func(p core.Problem, r *rng.Source) ga.Engine
+		name   string
+		engine spec.EngineSpec
 	}{
-		{"generational", func(p core.Problem, r *rng.Source) ga.Engine {
-			return ga.NewGenerational(ga.Config{Problem: p, PopSize: popSize,
-				Crossover: operators.TwoPoint{}, Mutator: operators.BitFlip{}, RNG: r})
-		}},
-		{"steady-state", func(p core.Problem, r *rng.Source) ga.Engine {
-			return ga.NewSteadyState(ga.Config{Problem: p, PopSize: popSize,
-				Crossover: operators.TwoPoint{}, Mutator: operators.BitFlip{}, RNG: r}, true)
-		}},
-		{"cellular", func(p core.Problem, r *rng.Source) ga.Engine {
-			return cellular.New(cellular.Config{Problem: p, Rows: 5, Cols: 5,
-				Crossover: operators.TwoPoint{}, Mutator: operators.BitFlip{}, RNG: r})
-		}},
+		{"generational", spec.EngineSpec{Pop: popSize, Crossover: twopoint(), Mutator: bitflip()}},
+		{"steady-state", spec.EngineSpec{Type: "steadystate", Pop: popSize, Crossover: twopoint(), Mutator: bitflip()}},
+		{"cellular", spec.EngineSpec{Type: "cellular", Grid: &spec.GridSpec{Rows: 5, Cols: 5}, Crossover: twopoint(), Mutator: bitflip()}},
 	}
 
-	fprintf(w, "ring of %d islands × %d individuals on %s, %d runs/scheme\n\n", demes, popSize, prob.Name(), runs)
+	fprintf(w, "ring of %d islands × %d individuals on %s, %d runs/scheme\n\n", demes, popSize, inst.Name(), runs)
 	fprintf(w, "%-14s %-9s %-14s %-14s %-14s\n", "scheme", "hit-rate", "med-evals", "mean-best", "schema-growth")
 
 	for _, sc := range schemes {
 		var hit stats.HitRate
 		var finals []float64
+		rs := spec.RunSpec{
+			Model:   spec.ModelIslands,
+			Problem: prob,
+			Engine:  sc.engine,
+			Islands: &spec.IslandSpec{Demes: demes, Migration: migrationEvery(10, 2)},
+			Budget:  spec.BudgetSpec{Generations: maxGens, TargetOptimum: true},
+		}
 		for r := 0; r < runs; r++ {
-			mk := sc.mk
-			m := island.New(island.Config{
-				Topology:  topology.Ring(demes),
-				Policy:    migrationEvery(10, 2),
-				NewEngine: func(d int, rr *rng.Source) ga.Engine { return mk(prob, rr) },
-				Seed:      uint64(r) * 101,
-			})
-			res := m.RunSequential(core.AnyOf{
-				core.MaxGenerations(maxGens),
-				core.TargetFitness{Target: prob.Optimum(), Dir: core.Maximize},
-			}, false)
-			hit.Record(res.Solved, res.SolvedAtEval)
-			finals = append(finals, res.BestFitness)
+			rs.Seed = uint64(r) * 101
+			rep := mustBuild(rs).Run(spec.RunOpts{})
+			hit.Record(rep.Solved, rep.SolvedAtEval)
+			finals = append(finals, rep.Best)
 		}
 
 		// Schema processing rate on the standalone engine: growth of the
@@ -89,10 +76,16 @@ func runE05(w io.Writer, quick bool) {
 			pattern[i] = '1'
 		}
 		sch := schema.MustParse(string(pattern))
+		standalone := spec.RunSpec{Model: spec.ModelGenerational, Problem: prob, Engine: sc.engine}
+		if sc.engine.Type != "" {
+			standalone.Model = sc.engine.Type
+			standalone.Engine.Type = ""
+		}
 		growth := 0.0
 		const schemaRuns = 5
 		for r := 0; r < schemaRuns; r++ {
-			e := sc.mk(prob, rng.New(uint64(r)*977+5))
+			standalone.Seed = uint64(r)*977 + 5
+			e := mustBuild(standalone).Engine
 			tr := schema.NewTracker(sch)
 			tr.Observe(e.Population())
 			for g := 0; g < 20; g++ {

@@ -3,8 +3,7 @@ package exp
 import (
 	"io"
 
-	"pga/internal/problems"
-	"pga/internal/topology"
+	"pga/internal/spec"
 )
 
 // E10 — Cantú-Paz (2000), the survey's central theory reference: isolated
@@ -27,30 +26,31 @@ func runE10(w io.Writer, quick bool) {
 	runs := scale(quick, 20, 4)
 	maxGens := scale(quick, 500, 60)
 	blocks := scale(quick, 10, 8)
-	prob := problems.DeceptiveTrap{Blocks: blocks, K: 4}
+	prob := spec.ProblemSpec{Name: "trap", Size: blocks * 4}
+	inst, _ := prob.Instance(0)
 	totalPop := scale(quick, 160, 64)
 
-	fprintf(w, "part A — connectivity at 8 demes × %d (%s, %d runs/row)\n\n", totalPop/8, prob.Name(), runs)
+	fprintf(w, "part A — connectivity at 8 demes × %d (%s, %d runs/row)\n\n", totalPop/8, inst.Name(), runs)
 	fprintf(w, "%-12s %-9s %-14s %-12s\n", "topology", "hit-rate", "med-evals", "mean-best")
 	tops := []struct {
 		name string
-		mk   func(n int) topology.Topology
+		kind string
 		pol  int
 	}{
-		{"isolated", topology.Isolated, 0},
-		{"ring", topology.Ring, 10},
-		{"bi-ring", topology.BiRing, 10},
-		{"complete", topology.Complete, 10},
+		{"isolated", "isolated", 0},
+		{"ring", "ring", 10},
+		{"bi-ring", "biring", 10},
+		{"complete", "complete", 10},
 	}
 	for _, tp := range tops {
 		hit, final := runIslandSetup(islandSetup{
-			problem: prob,
-			topo:    tp.mk,
-			demes:   8,
-			popSize: totalPop / 8,
-			policy:  migrationEvery(tp.pol, 2),
-			maxGens: maxGens,
-			runs:    runs,
+			problem:   prob,
+			engine:    demeEngineSpec(totalPop / 8),
+			demes:     8,
+			topology:  spec.TopologySpec{Kind: tp.kind},
+			migration: migrationEvery(tp.pol, 2),
+			maxGens:   maxGens,
+			runs:      runs,
 		})
 		med := 0.0
 		if hit.Hits() > 0 {
@@ -66,13 +66,13 @@ func runE10(w io.Writer, quick bool) {
 			continue
 		}
 		hit, final := runIslandSetup(islandSetup{
-			problem: prob,
-			topo:    topology.BiRing,
-			demes:   k,
-			popSize: totalPop / k,
-			policy:  migrationEvery(10, 2),
-			maxGens: maxGens,
-			runs:    runs,
+			problem:   prob,
+			engine:    demeEngineSpec(totalPop / k),
+			demes:     k,
+			topology:  spec.TopologySpec{Kind: "biring"},
+			migration: migrationEvery(10, 2),
+			maxGens:   maxGens,
+			runs:      runs,
 		})
 		med := 0.0
 		if hit.Hits() > 0 {

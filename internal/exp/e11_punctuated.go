@@ -4,10 +4,8 @@ import (
 	"io"
 
 	"pga/internal/core"
-	"pga/internal/island"
-	"pga/internal/problems"
+	"pga/internal/spec"
 	"pga/internal/stats"
-	"pga/internal/topology"
 )
 
 // E11 — Cohoon et al. (1987) showed that punctuated equilibria transfers
@@ -30,21 +28,26 @@ func runE11(w io.Writer, quick bool) {
 	interval := 25
 	maxGens := scale(quick, 200, 100)
 	blocks := scale(quick, 16, 8)
-	prob := problems.DeceptiveTrap{Blocks: blocks, K: 4}
+	prob := spec.ProblemSpec{Name: "trap", Size: blocks * 4}
+	inst, _ := prob.Instance(0)
 
 	// windowGens counts the generations considered "post-migration".
 	const window = 3
 
 	var postRate, baseRate float64
 	var curves [][]float64
+	rs := spec.RunSpec{
+		Model:   spec.ModelIslands,
+		Problem: prob,
+		Engine:  demeEngineSpec(20),
+		Islands: &spec.IslandSpec{Demes: 4, Migration: migrationEvery(interval, 2)},
+		Budget:  spec.BudgetSpec{Generations: maxGens},
+	}
 	for r := 0; r < runs; r++ {
-		m := island.New(island.Config{
-			Topology:  topology.Ring(4),
-			Policy:    migrationEvery(interval, 2),
-			NewEngine: demeEngine(prob, 20),
-			Seed:      uint64(r)*61 + 7,
-		})
-		res := m.RunSequential(core.MaxGenerations(maxGens), true)
+		rs.Seed = uint64(r)*61 + 7
+		// Drive the island handle directly: the experiment needs the full
+		// per-generation trace with generation numbers, a pure cap stop.
+		res := mustBuild(rs).Islands.RunSequential(core.MaxGenerations(maxGens), true)
 		var post, postImp, base, baseImp int
 		bests := make([]float64, 0, len(res.Trace))
 		for i := 1; i < len(res.Trace); i++ {
@@ -77,7 +80,7 @@ func runE11(w io.Writer, quick bool) {
 	postRate /= float64(runs)
 	baseRate /= float64(runs)
 
-	fprintf(w, "ring of 4 islands, migration every %d generations, %s, %d runs\n\n", interval, prob.Name(), runs)
+	fprintf(w, "ring of 4 islands, migration every %d generations, %s, %d runs\n\n", interval, inst.Name(), runs)
 	for i, c := range curves {
 		fprintf(w, "run %d best-fitness trace: %s\n", i+1, stats.Sparkline(stats.Downsample(c, 60)))
 	}

@@ -4,8 +4,7 @@ import (
 	"io"
 
 	"pga/internal/cluster"
-	"pga/internal/problems"
-	"pga/internal/topology"
+	"pga/internal/spec"
 )
 
 // E12 — Rivera (2001) reviewed the scalability of parallel GAs. The
@@ -29,7 +28,7 @@ func runE12(w io.Writer, quick bool) {
 	maxGens := scale(quick, 150, 50)
 	bits := scale(quick, 48, 24)
 	totalPop := scale(quick, 256, 64)
-	prob := problems.OneMax{N: bits}
+	prob := spec.ProblemSpec{Name: "onemax", Size: bits}
 	demeCounts := []int{1, 2, 4, 8, 16, 32, 64}
 
 	fprintf(w, "part A — strong scaling: total population %d split over k demes (ring, interval 10)\n", totalPop)
@@ -77,18 +76,17 @@ func runE12(w io.Writer, quick bool) {
 
 // measureGens runs the real island model and returns the mean generations
 // needed to solve (or the cap when unsolved).
-func measureGens(prob problems.OneMax, demes, popSize, maxGens, runs int) int {
+func measureGens(prob spec.ProblemSpec, demes, popSize, maxGens, runs int) int {
 	total := 0
 	for r := 0; r < runs; r++ {
 		hit, _ := runIslandSetup(islandSetup{
-			problem:  prob,
-			topo:     topology.Ring,
-			demes:    demes,
-			popSize:  popSize,
-			policy:   migrationEvery(10, 1),
-			maxGens:  maxGens,
-			runs:     1,
-			baseSeed: uint64(r)*89 + 11,
+			problem:   prob,
+			engine:    demeEngineSpec(popSize),
+			demes:     demes,
+			migration: migrationEvery(10, 1),
+			maxGens:   maxGens,
+			runs:      1,
+			baseSeed:  uint64(r)*89 + 11,
 		})
 		if hit.Hits() > 0 {
 			total += int(hit.Effort().Mean / float64(demes*popSize))

@@ -7,6 +7,7 @@ import (
 	"pga/internal/core"
 	"pga/internal/ga"
 	"pga/internal/island"
+	"pga/internal/migration"
 	"pga/internal/operators"
 	"pga/internal/rng"
 	"pga/internal/stats"
@@ -82,7 +83,7 @@ func runE13(w io.Writer, quick bool) {
 			cc := c
 			m := island.New(island.Config{
 				Topology: topology.Ring(4),
-				Policy:   migrationEvery(10, 2),
+				Policy:   migration.Policy{Interval: 10, Count: 2},
 				NewEngine: func(d int, rr *rng.Source) ga.Engine {
 					return ga.NewGenerational(ga.Config{
 						Problem: cc.problem, PopSize: 16,

@@ -3,7 +3,7 @@ package exp
 import (
 	"io"
 
-	"pga/internal/problems"
+	"pga/internal/spec"
 	"pga/internal/topology"
 )
 
@@ -26,26 +26,30 @@ func runE14(w io.Writer, quick bool) {
 	runs := scale(quick, 20, 4)
 	maxGens := scale(quick, 500, 60)
 	blocks := scale(quick, 10, 8)
-	prob := problems.DeceptiveTrap{Blocks: blocks, K: 4}
+	prob := spec.ProblemSpec{Name: "trap", Size: blocks * 4}
+	inst, _ := prob.Instance(0)
 	demes := 8
 	popSize := scale(quick, 20, 8)
 
+	// mk builds the graph for diameter/link inspection; ts is the same
+	// topology in spec vocabulary for the actual runs.
 	tops := []struct {
 		name string
 		mk   func(n int) topology.Topology
+		ts   spec.TopologySpec
 	}{
-		{"ring", topology.Ring},
-		{"bi-ring", topology.BiRing},
-		{"star", topology.Star},
-		{"grid 2x4", func(n int) topology.Topology { return topology.Grid(2, 4) }},
-		{"torus 2x4", func(n int) topology.Topology { return topology.Torus(2, 4) }},
-		{"hypercube", func(n int) topology.Topology { return topology.Hypercube(3) }},
-		{"complete", topology.Complete},
-		{"random k=3", func(n int) topology.Topology { return topology.RandomRegular(n, 3, 7) }},
+		{"ring", topology.Ring, spec.TopologySpec{Kind: "ring"}},
+		{"bi-ring", topology.BiRing, spec.TopologySpec{Kind: "biring"}},
+		{"star", topology.Star, spec.TopologySpec{Kind: "star"}},
+		{"grid 2x4", func(n int) topology.Topology { return topology.Grid(2, 4) }, spec.TopologySpec{Kind: "grid", Rows: 2, Cols: 4}},
+		{"torus 2x4", func(n int) topology.Topology { return topology.Torus(2, 4) }, spec.TopologySpec{Kind: "torus", Rows: 2, Cols: 4}},
+		{"hypercube", func(n int) topology.Topology { return topology.Hypercube(3) }, spec.TopologySpec{Kind: "hypercube"}},
+		{"complete", topology.Complete, spec.TopologySpec{Kind: "complete"}},
+		{"random k=3", func(n int) topology.Topology { return topology.RandomRegular(n, 3, 7) }, spec.TopologySpec{Kind: "random", Degree: 3, Seed: 7}},
 	}
 
 	fprintf(w, "%d demes × %d on %s, migration every 10 gens, %d runs/topology\n\n",
-		demes, popSize, prob.Name(), runs)
+		demes, popSize, inst.Name(), runs)
 	fprintf(w, "%-12s %-9s %-9s %-14s %-12s %-10s\n",
 		"topology", "diameter", "hit-rate", "med-evals", "mean-best", "links")
 
@@ -56,13 +60,13 @@ func runE14(w io.Writer, quick bool) {
 			links += len(t.Neighbors(i))
 		}
 		hit, final := runIslandSetup(islandSetup{
-			problem: prob,
-			topo:    tp.mk,
-			demes:   demes,
-			popSize: popSize,
-			policy:  migrationEvery(10, 2),
-			maxGens: maxGens,
-			runs:    runs,
+			problem:   prob,
+			engine:    demeEngineSpec(popSize),
+			demes:     demes,
+			topology:  tp.ts,
+			migration: migrationEvery(10, 2),
+			maxGens:   maxGens,
+			runs:      runs,
 		})
 		med := 0.0
 		if hit.Hits() > 0 {

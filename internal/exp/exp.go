@@ -12,13 +12,10 @@ import (
 
 	"pga/internal/core"
 	"pga/internal/ga"
-	"pga/internal/island"
-	"pga/internal/migration"
 	"pga/internal/operators"
-	"pga/internal/problems"
 	"pga/internal/rng"
+	"pga/internal/spec"
 	"pga/internal/stats"
-	"pga/internal/topology"
 )
 
 // Experiment is one reproducible experiment.
@@ -58,8 +55,10 @@ func Lookup(id string) (Experiment, bool) {
 
 // ---- shared run helpers ----
 
-// demeEngine returns an engine factory for a binary problem with the
-// given per-deme population size.
+// demeEngine returns an engine factory for an already-materialised
+// problem instance — the same canonical deme engine as demeEngineSpec,
+// for experiments whose problem is not in the registry vocabulary (or
+// that wire island/p2p configs by hand for other reasons).
 func demeEngine(p core.Problem, popSize int) func(int, *rng.Source) ga.Engine {
 	return func(deme int, r *rng.Source) ga.Engine {
 		return ga.NewGenerational(ga.Config{
@@ -73,42 +72,69 @@ func demeEngine(p core.Problem, popSize int) func(int, *rng.Source) ga.Engine {
 	}
 }
 
-// islandSetup bundles the knobs the island experiments sweep.
+// demeEngineSpec is the canonical deme engine of the island experiments
+// (generational, tournament-2, two-point crossover, bit-flip mutation)
+// in spec vocabulary.
+func demeEngineSpec(popSize int) spec.EngineSpec {
+	return spec.EngineSpec{
+		Pop:       popSize,
+		Selector:  &spec.OperatorSpec{Name: "tournament", Params: map[string]float64{"k": 2}},
+		Crossover: &spec.OperatorSpec{Name: "twopoint"},
+		Mutator:   &spec.OperatorSpec{Name: "bitflip"},
+	}
+}
+
+// islandSetup bundles the knobs the island experiments sweep, expressed
+// in the run-spec vocabulary; runIslandSetup expands it into one RunSpec
+// per run.
 type islandSetup struct {
-	problem  core.Problem
-	topo     func(n int) topology.Topology
-	demes    int
-	popSize  int // per deme
-	policy   migration.Policy
-	maxGens  int
-	runs     int
-	baseSeed uint64
+	problem   spec.ProblemSpec
+	engine    spec.EngineSpec
+	demes     int
+	topology  spec.TopologySpec
+	migration spec.MigrationSpec
+	maxGens   int
+	runs      int
+	baseSeed  uint64
 }
 
 // runIslandSetup executes the setup runs times (sequential deterministic
 // mode) and accumulates efficacy/effort plus the mean final best fitness.
+// Each run is one spec.Build — the experiments construct their runtimes
+// through the same path as a pgarun config file.
 func runIslandSetup(s islandSetup) (*stats.HitRate, stats.Summary) {
+	rs := spec.RunSpec{
+		Model:   spec.ModelIslands,
+		Problem: s.problem,
+		Engine:  s.engine,
+		Islands: &spec.IslandSpec{Demes: s.demes, Topology: s.topology, Migration: s.migration},
+		Budget:  spec.BudgetSpec{Generations: s.maxGens},
+	}
+	if prob, perr := s.problem.Instance(0); perr == nil {
+		if _, ok := prob.(core.TargetAware); ok {
+			rs.Budget.TargetOptimum = true
+		}
+	}
 	var hit stats.HitRate
 	var finals []float64
 	for r := 0; r < s.runs; r++ {
-		m := island.New(island.Config{
-			Topology:  s.topo(s.demes),
-			Policy:    s.policy,
-			NewEngine: demeEngine(s.problem, s.popSize),
-			Seed:      s.baseSeed + uint64(r)*7919,
-		})
-		stop := core.StopCondition(core.MaxGenerations(s.maxGens))
-		if ta, ok := s.problem.(core.TargetAware); ok {
-			stop = core.AnyOf{
-				core.MaxGenerations(s.maxGens),
-				core.TargetFitness{Target: ta.Optimum(), Dir: s.problem.Direction()},
-			}
-		}
-		res := m.RunSequential(stop, false)
-		hit.Record(res.Solved, res.SolvedAtEval)
-		finals = append(finals, res.BestFitness)
+		rs.Seed = s.baseSeed + uint64(r)*7919
+		rep := mustBuild(rs).Run(spec.RunOpts{})
+		hit.Record(rep.Solved, rep.SolvedAtEval)
+		finals = append(finals, rep.Best)
 	}
 	return &hit, stats.Summarize(finals)
+}
+
+// mustBuild materialises a spec assembled by experiment code; the
+// setups are static tables, so a validation failure is a programming
+// error, not an input error.
+func mustBuild(rs spec.RunSpec) *spec.Built {
+	b, err := spec.Build(rs)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // fprintf is fmt.Fprintf with the error discarded (experiment output is
@@ -133,8 +159,8 @@ func scale(quick bool, full, reduced int) int {
 
 // migrationEvery returns the canonical best→worst policy with the given
 // interval and migrant count.
-func migrationEvery(interval, count int) migration.Policy {
-	return migration.Policy{Interval: interval, Count: count}
+func migrationEvery(interval, count int) spec.MigrationSpec {
+	return spec.MigrationSpec{Interval: interval, Count: count}
 }
 
 // rate formats a hit-rate as "17/20".
@@ -142,15 +168,19 @@ func rate(h *stats.HitRate) string {
 	return fmt.Sprintf("%d/%d", h.Hits(), h.Runs())
 }
 
+// fixedSeed pins a problem-instance seed independent of the run seed.
+func fixedSeed(v uint64) *uint64 { return &v }
+
 // problemSpectrum returns the Alba & Troya problem classes at a size
-// suited to island experiments.
-func problemSpectrum(quick bool) []core.Problem {
+// suited to island experiments, as registry specs. The seeded instances
+// pin their seed so every run searches the same landscape.
+func problemSpectrum(quick bool) []spec.ProblemSpec {
 	bits := scale(quick, 48, 24)
-	return []core.Problem{
-		problems.OneMax{N: bits},                       // easy
-		problems.DeceptiveTrap{Blocks: bits / 4, K: 4}, // deceptive
-		problems.NewPPeaks(20, bits, 12345),            // multimodal
-		problems.NewSubsetSum(bits, 12345),             // NP-complete
-		problems.NewNKLandscape(bits, 4, 12345),        // epistatic
+	return []spec.ProblemSpec{
+		{Name: "onemax", Size: bits},                            // easy
+		{Name: "trap", Size: bits},                              // deceptive (bits/4 blocks of k=4)
+		{Name: "ppeaks", Size: bits, Seed: fixedSeed(12345)},    // multimodal
+		{Name: "subsetsum", Size: bits, Seed: fixedSeed(12345)}, // NP-complete
+		{Name: "nk", Size: bits, Seed: fixedSeed(12345)},        // epistatic
 	}
 }

@@ -1,0 +1,170 @@
+package operators
+
+import "sort"
+
+// This file is the operator half of the run-specification vocabulary:
+// every concrete operator the library ships is constructible from a
+// stable string key plus a flat map of numeric parameters. The
+// declarative layer (internal/spec) resolves OperatorSpec values through
+// this registry, and the completeness test in spec_keys_test.go pins the
+// invariant that no operator is constructible-but-unspeccable: each
+// entry of RegisteredOperators has exactly one key here and vice versa.
+
+// Operator kinds of the spec vocabulary.
+const (
+	KindSelector  = "selector"
+	KindCrossover = "crossover"
+	KindMutator   = "mutator"
+)
+
+// SpecParam documents one tunable numeric parameter of a keyed operator.
+// A parameter left out of the map keeps the operator's canonical default
+// (the zero value, whose defaulting each operator documents itself).
+type SpecParam struct {
+	// Name is the key in OperatorSpec.Params.
+	Name string
+	// Doc is a one-line description for -list output and docs.
+	Doc string
+}
+
+// SpecEntry is one entry of the operator vocabulary: a stable key, the
+// operator kind, its accepted parameters and a constructor from a sparse
+// parameter map. Build must accept an empty map (canonical defaults) and
+// must ignore keys it does not document — parameter-name validation is
+// the spec layer's job, via Params.
+type SpecEntry struct {
+	Key    string
+	Kind   string
+	Params []SpecParam
+	// Genomes lists the genome classes ("bits", "real", "int", "perm")
+	// the operator is closed over; empty means any class. The spec layer
+	// rejects operator/problem pairings outside this set at validation
+	// time instead of panicking at the first Step.
+	Genomes []string
+	Build   func(params map[string]float64) any
+}
+
+// Accepts reports whether name is a documented parameter of the entry.
+func (e SpecEntry) Accepts(name string) bool {
+	for _, p := range e.Params {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// specRegistry holds the vocabulary in presentation order (selectors,
+// then crossovers, then mutators, each alphabetical-ish by family).
+var specRegistry = []SpecEntry{
+	// Selectors.
+	{Key: "tournament", Kind: KindSelector,
+		Params: []SpecParam{{Name: "k", Doc: "tournament size (default 2)"}},
+		Build:  func(p map[string]float64) any { return Tournament{K: int(p["k"])} }},
+	{Key: "roulette", Kind: KindSelector,
+		Build: func(map[string]float64) any { return Roulette{} }},
+	{Key: "rank", Kind: KindSelector,
+		Params: []SpecParam{{Name: "sp", Doc: "selection pressure in [1,2] (default 1.5)"}},
+		Build:  func(p map[string]float64) any { return LinearRank{SP: p["sp"]} }},
+	{Key: "truncation", Kind: KindSelector,
+		Params: []SpecParam{{Name: "frac", Doc: "surviving fraction in (0,1] (default 0.5)"}},
+		Build:  func(p map[string]float64) any { return Truncation{Frac: p["frac"]} }},
+	{Key: "random", Kind: KindSelector,
+		Build: func(map[string]float64) any { return Random{} }},
+	{Key: "best", Kind: KindSelector,
+		Build: func(map[string]float64) any { return Best{} }},
+
+	// Crossovers.
+	{Key: "onepoint", Genomes: []string{"bits", "real", "int"}, Kind: KindCrossover,
+		Build: func(map[string]float64) any { return OnePoint{} }},
+	{Key: "twopoint", Genomes: []string{"bits", "real", "int"}, Kind: KindCrossover,
+		Build: func(map[string]float64) any { return TwoPoint{} }},
+	{Key: "kpoint", Genomes: []string{"bits", "real", "int"}, Kind: KindCrossover,
+		Params: []SpecParam{{Name: "k", Doc: "number of cut points (default 1)"}},
+		Build:  func(p map[string]float64) any { return KPoint{K: int(p["k"])} }},
+	{Key: "uniform", Genomes: []string{"bits", "real", "int"}, Kind: KindCrossover,
+		Params: []SpecParam{{Name: "p", Doc: "per-gene exchange probability (default 0.5)"}},
+		Build:  func(p map[string]float64) any { return Uniform{P: p["p"]} }},
+	{Key: "arithmetic", Genomes: []string{"real"}, Kind: KindCrossover,
+		Build: func(map[string]float64) any { return Arithmetic{} }},
+	{Key: "blx", Genomes: []string{"real"}, Kind: KindCrossover,
+		Params: []SpecParam{{Name: "alpha", Doc: "interval extension factor (default 0.5)"}},
+		Build:  func(p map[string]float64) any { return BLX{Alpha: p["alpha"]} }},
+	{Key: "sbx", Genomes: []string{"real"}, Kind: KindCrossover,
+		Params: []SpecParam{{Name: "eta", Doc: "distribution index (default 15)"}},
+		Build:  func(p map[string]float64) any { return SBX{Eta: p["eta"]} }},
+	{Key: "ox", Genomes: []string{"perm"}, Kind: KindCrossover,
+		Build: func(map[string]float64) any { return OX{} }},
+	{Key: "pmx", Genomes: []string{"perm"}, Kind: KindCrossover,
+		Build: func(map[string]float64) any { return PMX{} }},
+	{Key: "cx", Genomes: []string{"perm"}, Kind: KindCrossover,
+		Build: func(map[string]float64) any { return CX{} }},
+	{Key: "erx", Genomes: []string{"perm"}, Kind: KindCrossover,
+		Build: func(map[string]float64) any { return ERX{} }},
+	{Key: "uniformword", Genomes: []string{"bits"}, Kind: KindCrossover,
+		Build: func(map[string]float64) any { return UniformWord{} }},
+	{Key: "kpointword", Genomes: []string{"bits"}, Kind: KindCrossover,
+		Params: []SpecParam{{Name: "k", Doc: "number of cut points (default 1)"}},
+		Build:  func(p map[string]float64) any { return KPointWord{K: int(p["k"])} }},
+
+	// Mutators.
+	{Key: "bitflip", Genomes: []string{"bits"}, Kind: KindMutator,
+		Params: []SpecParam{{Name: "p", Doc: "per-bit flip probability (default 1/len)"}},
+		Build:  func(p map[string]float64) any { return BitFlip{P: p["p"]} }},
+	{Key: "gaussian", Genomes: []string{"real"}, Kind: KindMutator,
+		Params: []SpecParam{
+			{Name: "p", Doc: "per-gene perturbation probability (default 1/len)"},
+			{Name: "sigma", Doc: "perturbation std-dev (default 10% of range)"}},
+		Build: func(p map[string]float64) any { return Gaussian{P: p["p"], Sigma: p["sigma"]} }},
+	{Key: "polynomial", Genomes: []string{"real"}, Kind: KindMutator,
+		Params: []SpecParam{
+			{Name: "p", Doc: "per-gene mutation probability (default 1/len)"},
+			{Name: "eta", Doc: "distribution index (default 20)"}},
+		Build: func(p map[string]float64) any { return Polynomial{P: p["p"], Eta: p["eta"]} }},
+	{Key: "reset", Genomes: []string{"real", "int"}, Kind: KindMutator,
+		Params: []SpecParam{{Name: "p", Doc: "per-gene reset probability (default 1/len)"}},
+		Build:  func(p map[string]float64) any { return UniformReset{P: p["p"]} }},
+	{Key: "swap", Kind: KindMutator,
+		Build: func(map[string]float64) any { return Swap{} }},
+	{Key: "inversion", Genomes: []string{"perm"}, Kind: KindMutator,
+		Build: func(map[string]float64) any { return Inversion{} }},
+	{Key: "scramble", Genomes: []string{"perm"}, Kind: KindMutator,
+		Build: func(map[string]float64) any { return Scramble{} }},
+	{Key: "insertion", Genomes: []string{"perm"}, Kind: KindMutator,
+		Build: func(map[string]float64) any { return Insertion{} }},
+	{Key: "blockflip", Genomes: []string{"bits"}, Kind: KindMutator,
+		Params: []SpecParam{{Name: "k", Doc: "AND-ed mask draws per word, flip prob 2^-k (default 6)"}},
+		Build:  func(p map[string]float64) any { return BlockFlip{K: int(p["k"])} }},
+}
+
+// specByKey indexes the registry; built once at init.
+var specByKey = func() map[string]SpecEntry {
+	m := make(map[string]SpecEntry, len(specRegistry))
+	for _, e := range specRegistry {
+		m[e.Key] = e
+	}
+	return m
+}()
+
+// SpecEntries returns the operator vocabulary in presentation order.
+func SpecEntries() []SpecEntry {
+	return append([]SpecEntry(nil), specRegistry...)
+}
+
+// LookupSpec returns the vocabulary entry registered under key.
+func LookupSpec(key string) (SpecEntry, bool) {
+	e, ok := specByKey[key]
+	return e, ok
+}
+
+// SpecKeys returns the sorted keys of the given kind ("" = all kinds).
+func SpecKeys(kind string) []string {
+	var out []string
+	for _, e := range specRegistry {
+		if kind == "" || e.Kind == kind {
+			out = append(out, e.Key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,509 @@
+package spec
+
+import (
+	"time"
+
+	"pga/internal/cellular"
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/hga"
+	"pga/internal/island"
+	"pga/internal/masterslave"
+	"pga/internal/migration"
+	"pga/internal/operators"
+	"pga/internal/p2p"
+	"pga/internal/problems"
+	"pga/internal/rng"
+	"pga/internal/sim"
+	"pga/internal/supervise"
+	"pga/internal/topology"
+)
+
+// Default budgets of the spec layer (the runtimes have no stop-condition
+// defaults of their own).
+const (
+	// DefaultGenerations caps runs whose budget sets nothing.
+	DefaultGenerations = 300
+	// DefaultSIMGenerations is sim's own per-island default, kept so a
+	// sparse sim spec matches a sparse sim.Config.
+	DefaultSIMGenerations = 60
+	// DefaultHGACost is the hga cost budget when budget.cost is unset.
+	DefaultHGACost = 2000
+)
+
+// Built is a validated spec materialised into a runtime. Exactly one of
+// the runtime handles is non-nil (Engine covers the four panmictic
+// models); Run drives whichever is set and renders a deterministic
+// Report. The handles stay exported so callers with special needs (the
+// equiv parity tests, experiments stepping engines by hand) can drive
+// the runtime directly.
+type Built struct {
+	// Spec is the spec that was built (after validation).
+	Spec RunSpec
+	// Problem is the materialised problem (nil for model "sim", whose
+	// problem is multi-objective).
+	Problem core.Problem
+	// Stop is the composed stop condition of the engine models; fresh
+	// per Build because stagnation conditions are stateful.
+	Stop core.StopCondition
+	// Engine is the panmictic runtime (generational, steadystate,
+	// parallel, masterslave, cellular).
+	Engine ga.Engine
+	// Farm is the evaluation farm behind a masterslave Engine.
+	Farm *masterslave.Farm
+	// Islands is the island runtime.
+	Islands *island.Model
+	// P2P is the gossip-overlay runtime.
+	P2P *p2p.Network
+	// HGA is the hierarchical runtime.
+	HGA *hga.Model
+	// SIMConfig is the sim runtime's config (sim.Run constructs and
+	// runs in one call).
+	SIMConfig *sim.Config
+
+	maxGens    int
+	costBudget float64
+	islandMode string
+}
+
+// Build validates s and constructs its runtime. Engine-level zero
+// values pass through to the runtime configs, so a spec-built runtime
+// is draw-identical to the equivalent hand-wired construction.
+func Build(s RunSpec) (*Built, error) {
+	if verr := s.Validate(); verr != nil {
+		return nil, verr
+	}
+	b := &Built{Spec: s, maxGens: s.maxGenerations()}
+
+	if s.Model == ModelSIM {
+		mo, _ := s.simProblemInstance()
+		b.SIMConfig = s.simConfig(mo)
+		return b, nil
+	}
+
+	prob, _ := s.problemInstance()
+	b.Problem = prob
+	b.Stop = s.buildStop(prob)
+	class := genomeClassOf(prob)
+
+	switch s.Model {
+	case ModelGenerational:
+		b.Engine = ga.NewGenerational(s.gaConfig(prob, class, rng.New(s.Seed)))
+	case ModelSteadyState:
+		b.Engine = ga.NewSteadyState(s.gaConfig(prob, class, rng.New(s.Seed)), s.Engine.Replace != "random")
+	case ModelParallel:
+		workers := s.Engine.Workers
+		if workers == 0 {
+			workers = 4
+		}
+		b.Engine = ga.NewParallelGenerational(s.gaConfig(prob, class, rng.New(s.Seed)), workers)
+	case ModelMasterSlave:
+		workers := 4
+		if s.Farm != nil && s.Farm.Workers > 0 {
+			workers = s.Farm.Workers
+		}
+		b.Farm = masterslave.NewFarm(s.Seed, masterslave.Uniform(workers))
+		cfg := s.gaConfig(prob, class, rng.New(s.Seed))
+		cfg.Evaluator = b.Farm
+		b.Engine = ga.NewGenerational(cfg)
+	case ModelCellular:
+		b.Engine = cellular.New(s.cellularConfig(prob, class, rng.New(s.Seed)))
+	case ModelIslands:
+		b.Islands, b.islandMode = s.islandModel(prob, class)
+	case ModelP2P:
+		b.P2P = s.p2pNetwork(prob, class)
+	case ModelHGA:
+		b.HGA = s.hgaModel(prob, class)
+		b.costBudget = s.Budget.Cost
+		if b.costBudget == 0 {
+			b.costBudget = DefaultHGACost
+		}
+	}
+	return b, nil
+}
+
+// maxGenerations is the generation cap used by the maxGens-driven run
+// modes (parallel islands, p2p, sim).
+func (s *RunSpec) maxGenerations() int {
+	if s.Budget.Generations > 0 {
+		return s.Budget.Generations
+	}
+	if s.Model == ModelSIM {
+		return DefaultSIMGenerations
+	}
+	return DefaultGenerations
+}
+
+// buildStop composes the stop condition from the budget. A single
+// condition is returned unwrapped so its StopReason matches a
+// hand-wired run exactly.
+func (s *RunSpec) buildStop(prob core.Problem) core.StopCondition {
+	var conds core.AnyOf
+	conds = append(conds, core.MaxGenerations(s.maxGenerations()))
+	if s.Budget.Evaluations > 0 {
+		conds = append(conds, core.MaxEvaluations(s.Budget.Evaluations))
+	}
+	if s.Budget.Target != nil {
+		conds = append(conds, core.TargetFitness{Target: *s.Budget.Target, Dir: prob.Direction()})
+	}
+	if s.Budget.TargetOptimum {
+		ta := prob.(core.TargetAware) // validated
+		conds = append(conds, core.TargetFitness{Target: ta.Optimum(), Dir: prob.Direction()})
+	}
+	if s.Budget.Stagnation > 0 {
+		conds = append(conds, core.NewStagnation(s.Budget.Stagnation))
+	}
+	if len(conds) == 1 {
+		return conds[0]
+	}
+	return conds
+}
+
+// resolveOperators materialises the three operator slots. An omitted
+// selector passes nil through (the engine default, Tournament(2)); an
+// omitted crossover/mutator takes the canonical pair of the genome
+// class; "none" disables the slot.
+func (s *RunSpec) resolveOperators(class string) (sel operators.Selector, xover operators.Crossover, mut operators.Mutator) {
+	if op := s.Engine.Selector; op != nil {
+		sel = buildOperator(op).(operators.Selector)
+	}
+	if op := s.Engine.Crossover; op != nil {
+		if op.Name != "none" {
+			xover = buildOperator(op).(operators.Crossover)
+		}
+	} else {
+		xover = canonicalCrossover(class)
+	}
+	if op := s.Engine.Mutator; op != nil {
+		if op.Name != "none" {
+			mut = buildOperator(op).(operators.Mutator)
+		}
+	} else {
+		mut = canonicalMutator(class)
+	}
+	return sel, xover, mut
+}
+
+// buildOperator materialises one validated operator spec.
+func buildOperator(op *OperatorSpec) any {
+	entry, _ := operators.LookupSpec(op.Name) // validated
+	params := op.Params
+	if params == nil {
+		params = map[string]float64{}
+	}
+	return entry.Build(params)
+}
+
+// canonicalCrossover is the per-genome-class default crossover — the
+// pairing cmd/pgarun has always used.
+func canonicalCrossover(class string) operators.Crossover {
+	switch class {
+	case "real":
+		return operators.SBX{}
+	case "perm":
+		return operators.OX{}
+	default: // bits, int
+		return operators.Uniform{}
+	}
+}
+
+// canonicalMutator is the per-genome-class default mutator.
+func canonicalMutator(class string) operators.Mutator {
+	switch class {
+	case "real":
+		return operators.Polynomial{}
+	case "perm":
+		return operators.Inversion{}
+	case "int":
+		return operators.UniformReset{}
+	default: // bits
+		return operators.BitFlip{}
+	}
+}
+
+// gaConfig assembles a ga.Config, passing spec zero values through so
+// ga's own defaulting stays authoritative.
+func (s *RunSpec) gaConfig(prob core.Problem, class string, r *rng.Source) ga.Config {
+	sel, xover, mut := s.resolveOperators(class)
+	return ga.Config{
+		Problem:       prob,
+		PopSize:       s.Engine.Pop,
+		Selector:      sel,
+		Crossover:     xover,
+		CrossoverRate: s.Engine.CrossoverRate,
+		Mutator:       mut,
+		Elitism:       s.Engine.Elitism,
+		GenGap:        s.Engine.GenGap,
+		RNG:           r,
+	}
+}
+
+// cellularConfig assembles a cellular.Config.
+func (s *RunSpec) cellularConfig(prob core.Problem, class string, r *rng.Source) cellular.Config {
+	_, xover, mut := s.resolveOperators(class)
+	g := s.Engine.Grid
+	if g == nil {
+		g = &GridSpec{}
+	}
+	return cellular.Config{
+		Problem:       prob,
+		Rows:          g.Rows,
+		Cols:          g.Cols,
+		Neighborhood:  neighborhoodOf(g.Neighborhood),
+		Update:        updateOf(g.Update),
+		Crossover:     xover,
+		CrossoverRate: s.Engine.CrossoverRate,
+		Mutator:       mut,
+		RNG:           r,
+	}
+}
+
+func neighborhoodOf(name string) cellular.Neighborhood {
+	switch name {
+	case "c9":
+		return cellular.Moore
+	case "l9":
+		return cellular.Linear9
+	default: // "", l5
+		return cellular.VonNeumann
+	}
+}
+
+func updateOf(name string) cellular.UpdatePolicy {
+	switch name {
+	case "ls":
+		return cellular.LineSweep
+	case "frs":
+		return cellular.FixedRandomSweep
+	case "nrs":
+		return cellular.NewRandomSweep
+	case "uc":
+		return cellular.UniformChoice
+	default: // "", sync
+		return cellular.Synchronous
+	}
+}
+
+// demeEngineFactory builds the per-deme engine constructor of the
+// islands and p2p models from the Engine section.
+func (s *RunSpec) demeEngineFactory(prob core.Problem, class string) func(int, *rng.Source) ga.Engine {
+	switch s.Engine.Type {
+	case "steadystate":
+		return func(_ int, r *rng.Source) ga.Engine {
+			return ga.NewSteadyState(s.gaConfig(prob, class, r), s.Engine.Replace != "random")
+		}
+	case "cellular":
+		return func(_ int, r *rng.Source) ga.Engine {
+			return cellular.New(s.cellularConfig(prob, class, r))
+		}
+	default: // "", generational
+		return func(_ int, r *rng.Source) ga.Engine {
+			return ga.NewGenerational(s.gaConfig(prob, class, r))
+		}
+	}
+}
+
+// islandModel assembles the island runtime.
+func (s *RunSpec) islandModel(prob core.Problem, class string) (*island.Model, string) {
+	is := s.Islands
+	if is == nil {
+		is = &IslandSpec{}
+	}
+	demes := is.Demes
+	if demes == 0 {
+		demes = 8
+	}
+	mode := is.Mode
+	if mode == "" {
+		mode = "sequential"
+	}
+	m := island.New(island.Config{
+		Topology:    s.buildTopology(is.Topology, demes),
+		Policy:      buildPolicy(is.Migration),
+		NewEngine:   s.demeEngineFactory(prob, class),
+		RewireEvery: is.RewireEvery,
+		Seed:        s.Seed,
+		Resilience:  resiliencePreset(is.Resilience),
+		Faults:      buildFaultPlan(is.Faults),
+	})
+	return m, mode
+}
+
+// buildTopology materialises a topology spec; the "random" kind's
+// wiring seed defaults to the run seed.
+func (s *RunSpec) buildTopology(t TopologySpec, demes int) topology.Topology {
+	switch t.Kind {
+	case "biring":
+		return topology.BiRing(demes)
+	case "star":
+		return topology.Star(demes)
+	case "complete":
+		return topology.Complete(demes)
+	case "hypercube":
+		d := 0
+		for 1<<uint(d) < demes {
+			d++
+		}
+		return topology.Hypercube(d)
+	case "isolated":
+		return topology.Isolated(demes)
+	case "grid":
+		return topology.Grid(t.Rows, t.Cols)
+	case "torus":
+		return topology.Torus(t.Rows, t.Cols)
+	case "random":
+		deg := t.Degree
+		if deg == 0 {
+			deg = 3
+		}
+		seed := t.Seed
+		if seed == 0 {
+			seed = s.Seed
+		}
+		return topology.NewDynamic(func(ts uint64) topology.Topology {
+			return topology.RandomRegular(demes, deg, ts)
+		}, seed)
+	default: // "", ring
+		return topology.Ring(demes)
+	}
+}
+
+// buildPolicy materialises a migration policy, passing zero values
+// through to migration.Policy.WithDefaults.
+func buildPolicy(m MigrationSpec) migration.Policy {
+	p := migration.Policy{
+		Interval: m.Interval,
+		Count:    m.Count,
+		Sync:     !m.Async,
+		Buffer:   m.Buffer,
+	}
+	switch m.Select {
+	case "random":
+		p.Select = migration.SelectRandom{}
+	case "tournament":
+		p.Select = migration.SelectTournament{}
+	}
+	switch m.Replace {
+	case "worst-if-better":
+		p.Replace = migration.ReplaceWorstIfBetter{}
+	case "random":
+		p.Replace = migration.ReplaceRandom{}
+	}
+	return p
+}
+
+// resiliencePreset maps a preset name to a supervision config.
+func resiliencePreset(name string) *supervise.Config {
+	switch name {
+	case "default":
+		return &supervise.Config{}
+	case "eager":
+		return &supervise.Config{CheckpointEvery: 1, MaxRestarts: 5}
+	default: // "", none
+		return nil
+	}
+}
+
+// buildFaultPlan materialises scripted faults.
+func buildFaultPlan(faults []FaultSpec) *supervise.FaultPlan {
+	if len(faults) == 0 {
+		return nil
+	}
+	plan := supervise.NewFaultPlan()
+	for _, f := range faults {
+		switch f.Kind {
+		case "panic":
+			times := f.Times
+			if times == 0 {
+				times = 1
+			}
+			plan.PanicTimes(f.Deme, f.Gen, times)
+		case "hang":
+			ms := f.HangMS
+			if ms == 0 {
+				ms = 50
+			}
+			plan.HangAt(f.Deme, f.Gen, time.Duration(ms)*time.Millisecond)
+		}
+	}
+	return plan
+}
+
+// p2pNetwork assembles the gossip overlay.
+func (s *RunSpec) p2pNetwork(prob core.Problem, class string) *p2p.Network {
+	ps := s.P2P
+	if ps == nil {
+		ps = &P2PSpec{}
+	}
+	return p2p.New(p2p.Config{
+		Problem:     prob,
+		Peers:       ps.Peers,
+		NewEngine:   s.demeEngineFactory(prob, class),
+		ViewSize:    ps.ViewSize,
+		GossipEvery: ps.GossipEvery,
+		ChurnRate:   ps.Churn,
+		RejoinRate:  ps.Rejoin,
+		MinPeers:    ps.MinPeers,
+		Seed:        s.Seed,
+	})
+}
+
+// hgaModel assembles the hierarchy over the quantized multi-fidelity
+// wrapper of a real-valued benchmark.
+func (s *RunSpec) hgaModel(prob core.Problem, class string) *hga.Model {
+	rf := prob.(*problems.RealFunc) // validated
+	hs := s.HGA
+	if hs == nil {
+		hs = &HGASpec{}
+	}
+	sel, xover, mut := s.resolveOperators(class)
+	return hga.New(hga.Config{
+		Problem:           hga.NewQuantized(rf),
+		LayerSizes:        hs.Layers,
+		LevelOf:           hs.Levels,
+		DemeSize:          s.Engine.Pop,
+		MigrationInterval: hs.Interval,
+		Selector:          sel,
+		Crossover:         xover,
+		Mutator:           mut,
+		Seed:              s.Seed,
+	})
+}
+
+// simConfig assembles the specialized-island config.
+func (s *RunSpec) simConfig(mo sim.MultiObjective) *sim.Config {
+	ss := s.SIM
+	if ss == nil {
+		ss = &SIMSpec{}
+	}
+	scenario := ss.Scenario
+	if scenario == 0 {
+		scenario = 1
+	}
+	cfg := sim.Config{
+		Problem:           mo,
+		Scenario:          sim.Scenario(scenario),
+		DemeSize:          ss.DemeSize,
+		Generations:       s.maxGenerations(),
+		MigrationInterval: ss.Interval,
+		ArchiveCap:        ss.ArchiveCap,
+		Seed:              s.Seed,
+	}
+	if len(ss.HVRef) == 2 {
+		cfg.HVRef = [2]float64{ss.HVRef[0], ss.HVRef[1]}
+	}
+	return &cfg
+}
+
+// isRealBenchmark reports whether the problem is a real-valued
+// benchmark usable as an hga multi-fidelity base.
+func isRealBenchmark(p core.Problem) bool {
+	_, ok := p.(*problems.RealFunc)
+	return ok
+}
+
+// isTargetAware reports whether the problem has a known optimum.
+func isTargetAware(p core.Problem) bool {
+	_, ok := p.(core.TargetAware)
+	return ok
+}

@@ -1,0 +1,60 @@
+package spec
+
+import "testing"
+
+// FuzzParse feeds arbitrary bytes through both document parsers. The
+// contract under test: never panic, and every rejection is a structured
+// *Error with at least one located field.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`[]`,
+		`null`,
+		`{"model":"generational","problem":{"name":"onemax","size":8}}`,
+		`{"model":"islands","problem":{"name":"onemax","size":8},"islands":{"demes":4,"topology":"torus"}}`,
+		`{"model":"sim","problem":{"name":"zdt1","size":6}}`,
+		`{"model":"hga","problem":{"name":"sphere","size":4},"budget":{"cost":100}}`,
+		`{"base":{"model":"generational","problem":{"name":"onemax","size":8}},"sweep":{"engine.pop":[4,8]}}`,
+		`{"base":{"model":"generational","problem":{"name":"onemax","size":8}},"sweep":{"seed":{"from":1,"to":3}}}`,
+		`{"model":"generational","problem":{"name":"onemax","size":1e9}}`,
+		`{"model":"generational","problem":{"name":"onemax","size":8},"seed":18446744073709551615}`,
+		`{"model":"generational","problem":{"name":"onemax","size":8},"engine":{"crossover":{"name":"none"}}}`,
+		`{"base":{},"sweep":{"..":[1]}}`,
+		`{"base":{"model":"generational","problem":{"name":"onemax","size":8}},"sweep":{"problem":[{"name":"trap","size":12}]}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := Parse(data); err != nil {
+			requireStructured(t, err)
+		} else if s == nil {
+			t.Fatal("Parse returned nil spec and nil error")
+		}
+		if file, err := ParseFile(data); err != nil {
+			requireStructured(t, err)
+		} else if file == nil || (file.Single == nil && file.Sweep == nil) {
+			t.Fatal("ParseFile returned an empty document without error")
+		}
+	})
+}
+
+func requireStructured(t *testing.T, err error) {
+	t.Helper()
+	se, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("rejection is %T (%v), want *spec.Error", err, err)
+	}
+	if len(se.Fields) == 0 {
+		t.Fatal("structured error with no fields")
+	}
+	for _, f := range se.Fields {
+		if f.Path == "" || f.Reason == "" {
+			t.Fatalf("field with empty path or reason: %+v", se.Fields)
+		}
+	}
+	if se.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}

@@ -1,0 +1,117 @@
+package spec
+
+import (
+	"pga/internal/core"
+	"pga/internal/ga"
+	"pga/internal/island"
+	"pga/internal/sim"
+)
+
+// RunOpts tunes Built.Run.
+type RunOpts struct {
+	// OnStep fires after every generation of the engine models (live
+	// progress displays). Island/p2p/hga/sim runs ignore it.
+	OnStep func(core.Status)
+	// Trace records the per-generation trace into the report.
+	Trace bool
+}
+
+// Report is the deterministic run summary: everything a sweep result
+// file carries per cell. It deliberately has no timing fields — wall
+// clock is the one quantity that breaks run-twice byte-identity, so
+// callers that want timings measure around Run themselves.
+type Report struct {
+	// Name, Model, Problem, Seed echo the spec.
+	Name    string `json:"name,omitempty"`
+	Model   string `json:"model"`
+	Problem string `json:"problem"`
+	Seed    uint64 `json:"seed"`
+	// Cell and Replicate locate a sweep cell; Overrides is the cell's
+	// axis assignment (single runs leave all three zero).
+	Cell      int            `json:"cell,omitempty"`
+	Replicate int            `json:"replicate,omitempty"`
+	Overrides map[string]any `json:"overrides,omitempty"`
+
+	// Core accounting (core.RunStats minus Elapsed).
+	Best         float64           `json:"best"`
+	Generations  int               `json:"generations"`
+	Evaluations  int64             `json:"evaluations"`
+	Solved       bool              `json:"solved,omitempty"`
+	SolvedAtEval int64             `json:"solved_at_eval,omitempty"`
+	SolvedAtGen  int               `json:"solved_at_gen,omitempty"`
+	StopReason   string            `json:"stop,omitempty"`
+	CacheHits    int64             `json:"cache_hits,omitempty"`
+	CacheMisses  int64             `json:"cache_misses,omitempty"`
+	Trace        []core.TracePoint `json:"trace,omitempty"`
+
+	// Model extensions.
+	Migrations  int64   `json:"migrations,omitempty"`   // islands
+	Restarts    int64   `json:"restarts,omitempty"`     // supervised islands
+	DeadDemes   []int   `json:"dead_demes,omitempty"`   // supervised islands
+	Departures  int     `json:"departures,omitempty"`   // p2p
+	Joins       int     `json:"joins,omitempty"`        // p2p
+	AliveAtEnd  int     `json:"alive_at_end,omitempty"` // p2p
+	Cost        float64 `json:"cost,omitempty"`         // hga
+	CostAtSolve float64 `json:"cost_at_solve,omitempty"`
+	Hypervolume float64 `json:"hypervolume,omitempty"` // sim
+	ParetoSize  int     `json:"pareto_size,omitempty"` // sim
+	Islands     int     `json:"islands,omitempty"`     // sim
+}
+
+// Run drives the built runtime to completion and renders the report.
+// Sequential-mode and sync-parallel runs are deterministic: the same
+// spec yields a byte-identical report JSON on every run.
+func (b *Built) Run(opts RunOpts) *Report {
+	rep := &Report{
+		Name:    b.Spec.Name,
+		Model:   b.Spec.Model,
+		Problem: b.Spec.Problem.Name,
+		Seed:    b.Spec.Seed,
+	}
+	switch {
+	case b.Engine != nil:
+		res := ga.Run(b.Engine, ga.RunOptions{Stop: b.Stop, Trace: opts.Trace, OnStep: opts.OnStep})
+		rep.fill(&res.RunStats, opts.Trace)
+		rep.CacheHits, rep.CacheMisses = res.CacheHits, res.CacheMisses
+	case b.Islands != nil:
+		var res *island.Result
+		if b.islandMode == "parallel" {
+			res = b.Islands.RunParallel(b.maxGens, opts.Trace)
+		} else {
+			res = b.Islands.RunSequential(b.Stop, opts.Trace)
+		}
+		rep.fill(&res.RunStats, opts.Trace)
+		rep.Migrations = res.Migrations
+		rep.Restarts = res.Restarts
+		rep.DeadDemes = res.DeadDemes
+	case b.P2P != nil:
+		res := b.P2P.Run(b.maxGens)
+		rep.fill(&res.RunStats, opts.Trace)
+		rep.Departures, rep.Joins, rep.AliveAtEnd = res.Departures, res.Joins, res.AliveAtEnd
+	case b.HGA != nil:
+		res := b.HGA.Run(b.costBudget)
+		rep.fill(&res.RunStats, opts.Trace)
+		rep.Cost, rep.CostAtSolve = res.Cost, res.CostAtSolve
+	case b.SIMConfig != nil:
+		res := sim.Run(*b.SIMConfig)
+		rep.fill(&res.RunStats, opts.Trace)
+		rep.Hypervolume = res.Hypervolume
+		rep.ParetoSize = res.Archive.Len()
+		rep.Islands = res.Islands
+	}
+	return rep
+}
+
+// fill copies the shared accounting, excluding Elapsed.
+func (r *Report) fill(st *core.RunStats, trace bool) {
+	r.Best = st.BestFitness
+	r.Generations = st.Generations
+	r.Evaluations = st.Evaluations
+	r.Solved = st.Solved
+	r.SolvedAtEval = st.SolvedAtEval
+	r.SolvedAtGen = st.SolvedAtGen
+	r.StopReason = st.StopReason
+	if trace {
+		r.Trace = st.Trace
+	}
+}

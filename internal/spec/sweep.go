@@ -1,0 +1,340 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+)
+
+// Axis is one swept dimension: a dotted field path and the values it
+// takes. Values may be any JSON value, including whole objects (an
+// entire engine section, a topology object).
+type Axis struct {
+	Path   string `json:"path"`
+	Values []any  `json:"values"`
+}
+
+// Sweep expands a base spec over axes into a deterministic run matrix.
+// Cells enumerate row-major with the last axis fastest; each cell's
+// seed derives from the base seed and the cell/replicate index (see
+// DeriveSeed), except that sweeping the "seed" path itself pins the
+// cell seed to the swept value.
+type Sweep struct {
+	Base       RunSpec
+	Axes       []Axis
+	Replicates int
+}
+
+// Cell is one expanded run of a sweep.
+type Cell struct {
+	// Index is the cell's position in the row-major matrix.
+	Index int
+	// Replicate is the repeat index within the cell.
+	Replicate int
+	// Spec is the fully validated cell spec (seed already derived).
+	Spec RunSpec
+	// Overrides is the cell's axis assignment, keyed by path.
+	Overrides map[string]any
+}
+
+// File is one parsed config document: either a single run or a sweep.
+type File struct {
+	// Name labels the document (sweep form only; a single-run document
+	// uses the RunSpec's own name).
+	Name string
+	// Single is set when the document is a plain RunSpec.
+	Single *RunSpec
+	// Sweep is set when the document is a sweep.
+	Sweep *Sweep
+}
+
+// sweepDoc is the JSON shape of a sweep document.
+type sweepDoc struct {
+	Name       string                     `json:"name,omitempty"`
+	Base       json.RawMessage            `json:"base"`
+	Sweep      map[string]json.RawMessage `json:"sweep"`
+	Replicates int                        `json:"replicates,omitempty"`
+}
+
+// rangeAxis is the {"from": a, "to": b, "step": s} axis shorthand.
+type rangeAxis struct {
+	From float64  `json:"from"`
+	To   float64  `json:"to"`
+	Step *float64 `json:"step,omitempty"`
+}
+
+// ParseFile strictly parses one config document — a plain RunSpec or a
+// sweep ({"base": {...}, "sweep": {"path": [...]}, "replicates": N}) —
+// and validates every cell it expands to. Like Parse it returns
+// structured errors and never panics.
+func ParseFile(data []byte) (*File, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, asError(decodeError(err))
+	}
+	if _, isSweep := probe["base"]; !isSweep {
+		s, err := Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		return &File{Single: s}, nil
+	}
+
+	var doc sweepDoc
+	if err := strictUnmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	base, err := Parse(doc.Base)
+	if err != nil {
+		return nil, prefixPaths(err, "base.")
+	}
+	if doc.Replicates < 0 {
+		return nil, errf("replicates", "must not be negative")
+	}
+
+	// JSON map order is unspecified; sort axis paths so the run matrix
+	// is deterministic for a given document.
+	paths := make([]string, 0, len(doc.Sweep))
+	for p := range doc.Sweep {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	sw := &Sweep{Base: *base, Replicates: doc.Replicates}
+	for _, p := range paths {
+		values, aerr := parseAxisValues(p, doc.Sweep[p])
+		if aerr != nil {
+			return nil, aerr
+		}
+		sw.Axes = append(sw.Axes, Axis{Path: p, Values: values})
+	}
+	if _, cerr := sw.Cells(); cerr != nil {
+		return nil, cerr
+	}
+	return &File{Name: doc.Name, Sweep: sw}, nil
+}
+
+// parseAxisValues decodes one axis: a JSON array of values or the
+// range shorthand.
+func parseAxisValues(path string, raw json.RawMessage) ([]any, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return nil, errf("sweep."+path, "axis has no values")
+	}
+	if trimmed[0] == '[' {
+		var values []any
+		if err := unmarshalNumbers(trimmed, &values); err != nil {
+			return nil, errf("sweep."+path, "cannot decode axis values: %v", err)
+		}
+		if len(values) == 0 {
+			return nil, errf("sweep."+path, "axis has no values")
+		}
+		return values, nil
+	}
+	if trimmed[0] == '{' {
+		var r rangeAxis
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&r); err != nil {
+			return nil, errf("sweep."+path, `axis must be a value list or {"from","to","step"}: %v`, err)
+		}
+		step := 1.0
+		if r.Step != nil {
+			step = *r.Step
+		}
+		if step <= 0 {
+			return nil, errf("sweep."+path+".step", "must be positive")
+		}
+		if r.To < r.From {
+			return nil, errf("sweep."+path, "empty range: to %v below from %v", r.To, r.From)
+		}
+		var values []any
+		// Integer-step ranges iterate exactly; fractional steps tolerate
+		// float error up to half a step.
+		for v := r.From; v <= r.To+step/2; v += step {
+			values = append(values, v)
+			if len(values) > 10000 {
+				return nil, errf("sweep."+path, "range expands to over 10000 values")
+			}
+		}
+		return values, nil
+	}
+	return nil, errf("sweep."+path, "axis must be a value list or a range object")
+}
+
+// unmarshalNumbers decodes preserving number precision (json.Number
+// instead of float64), so large integer seeds survive the override
+// round-trip exactly.
+func unmarshalNumbers(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	return dec.Decode(v)
+}
+
+// prefixPaths rebases an *Error's field paths under a prefix.
+func prefixPaths(err error, prefix string) error {
+	se, ok := err.(*Error)
+	if !ok {
+		return err
+	}
+	out := &Error{Fields: make([]FieldError, len(se.Fields))}
+	for i, f := range se.Fields {
+		out.Fields[i] = FieldError{Path: prefix + f.Path, Reason: f.Reason}
+	}
+	return out
+}
+
+// splitmix64 is the seed-derivation mix (same constants as the rng
+// package's stream splitting; reimplemented here because the spec
+// layer derives seeds, not streams).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed derives the run seed of sweep cell `cell`, replicate
+// `rep`, from the base seed. Cell 0 replicate 0 keeps the base seed
+// verbatim, so a one-cell sweep reproduces the plain run exactly; every
+// other coordinate chains SplitMix64 so nearby cells get decorrelated
+// streams.
+func DeriveSeed(base uint64, cell, rep int) uint64 {
+	if cell == 0 && rep == 0 {
+		return base
+	}
+	h := splitmix64(base ^ 0xD6E8FEB86659FD93)
+	h = splitmix64(h ^ uint64(cell))
+	h = splitmix64(h ^ uint64(rep))
+	return h
+}
+
+// Cells expands the sweep into its validated run matrix.
+func (s *Sweep) Cells() ([]Cell, *Error) {
+	reps := s.Replicates
+	if reps == 0 {
+		reps = 1
+	}
+	dims := make([]int, len(s.Axes))
+	total := 1
+	for i, ax := range s.Axes {
+		if len(ax.Values) == 0 {
+			return nil, errf("sweep."+ax.Path, "axis has no values")
+		}
+		if strings.TrimSpace(ax.Path) == "" {
+			return nil, errf("sweep", "axis has an empty path")
+		}
+		dims[i] = len(ax.Values)
+		total *= dims[i]
+		if total > 100000 {
+			return nil, errf("sweep", "matrix expands to over 100000 cells")
+		}
+	}
+
+	baseDoc, err := s.Base.JSON()
+	if err != nil {
+		return nil, errf("base", "cannot serialise base spec: %v", err)
+	}
+
+	var cells []Cell
+	idx := make([]int, len(s.Axes))
+	for cell := 0; cell < total; cell++ {
+		overrides := map[string]any{}
+		seedSwept := false
+		var doc map[string]any
+		if uerr := unmarshalNumbers(baseDoc, &doc); uerr != nil {
+			return nil, errf("base", "cannot re-read base spec: %v", uerr)
+		}
+		for i, ax := range s.Axes {
+			v := ax.Values[idx[i]]
+			overrides[ax.Path] = v
+			if ax.Path == "seed" {
+				seedSwept = true
+			}
+			if serr := setPath(doc, ax.Path, v); serr != nil {
+				return nil, serr
+			}
+		}
+		cellJSON, merr := json.Marshal(doc)
+		if merr != nil {
+			return nil, errf("sweep", "cell %d does not serialise: %v", cell, merr)
+		}
+		cellSpec, perr := Parse(cellJSON)
+		if perr != nil {
+			pe, _ := prefixPaths(perr, "sweep(cell "+itoa(cell)+").").(*Error)
+			return nil, pe
+		}
+		for rep := 0; rep < reps; rep++ {
+			cs := *cellSpec
+			if seedSwept {
+				cs.Seed = DeriveSeed(cs.Seed, 0, rep)
+			} else {
+				cs.Seed = DeriveSeed(s.Base.Seed, cell, rep)
+			}
+			cells = append(cells, Cell{
+				Index:     cell,
+				Replicate: rep,
+				Spec:      cs,
+				Overrides: overrides,
+			})
+		}
+		// Advance the odometer, last axis fastest.
+		for i := len(idx) - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < dims[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return cells, nil
+}
+
+// setPath assigns v at the dotted path inside a JSON object tree,
+// creating intermediate objects as needed. The subsequent strict
+// re-Parse of the cell document catches paths that name no spec field.
+func setPath(doc map[string]any, path string, v any) *Error {
+	parts := strings.Split(path, ".")
+	cur := doc
+	for i, p := range parts[:len(parts)-1] {
+		next, ok := cur[p]
+		if !ok || next == nil {
+			child := map[string]any{}
+			cur[p] = child
+			cur = child
+			continue
+		}
+		child, ok := next.(map[string]any)
+		if !ok {
+			return errf("sweep."+path, "path segment %q is not an object", strings.Join(parts[:i+1], "."))
+		}
+		cur = child
+	}
+	cur[parts[len(parts)-1]] = v
+	return nil
+}
+
+// Run expands and runs every cell in order, returning one report per
+// cell×replicate. Deterministic for deterministic specs: the same
+// sweep document yields byte-identical marshalled reports on every
+// invocation.
+func (s *Sweep) Run(opts RunOpts) ([]*Report, error) {
+	cells, cerr := s.Cells()
+	if cerr != nil {
+		return nil, cerr
+	}
+	reports := make([]*Report, 0, len(cells))
+	for _, c := range cells {
+		b, berr := Build(c.Spec)
+		if berr != nil {
+			return reports, prefixPaths(berr, "sweep(cell "+itoa(c.Index)+").")
+		}
+		rep := b.Run(opts)
+		rep.Cell = c.Index
+		rep.Replicate = c.Replicate
+		rep.Overrides = c.Overrides
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

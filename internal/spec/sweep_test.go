@@ -1,0 +1,240 @@
+package spec
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+const sweepDocJSON = `{
+  "name": "pop-by-interval",
+  "base": {
+    "model": "islands",
+    "problem": {"name": "onemax", "size": 16},
+    "engine": {"pop": 8},
+    "islands": {"demes": 3, "migration": {"interval": 2}},
+    "budget": {"generations": 3},
+    "seed": 11
+  },
+  "sweep": {
+    "engine.pop": [8, 12],
+    "islands.migration.interval": [1, 2, 4]
+  },
+  "replicates": 2
+}`
+
+func TestParseFileSingle(t *testing.T) {
+	f, err := ParseFile([]byte(`{"model":"generational","problem":{"name":"onemax","size":8},"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Single == nil || f.Sweep != nil {
+		t.Fatalf("single-run document misclassified: %+v", f)
+	}
+}
+
+func TestParseFileSweep(t *testing.T) {
+	f, err := ParseFile([]byte(sweepDocJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Sweep == nil || f.Single != nil {
+		t.Fatalf("sweep document misclassified: %+v", f)
+	}
+	if f.Name != "pop-by-interval" {
+		t.Errorf("name = %q", f.Name)
+	}
+	// Axes sort lexically by path.
+	if len(f.Sweep.Axes) != 2 || f.Sweep.Axes[0].Path != "engine.pop" || f.Sweep.Axes[1].Path != "islands.migration.interval" {
+		t.Fatalf("axes: %+v", f.Sweep.Axes)
+	}
+
+	cells, cerr := f.Sweep.Cells()
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if len(cells) != 2*3*2 { // 2 pops × 3 intervals × 2 replicates
+		t.Fatalf("got %d cells, want 12", len(cells))
+	}
+	// Row-major, last axis fastest: cell 0 = (pop 8, interval 1),
+	// cell 1 = (pop 8, interval 2), ..., cell 3 = (pop 12, interval 1).
+	if got := cells[0].Spec; got.Engine.Pop != 8 || got.Islands.Migration.Interval != 1 {
+		t.Errorf("cell 0: pop=%d interval=%d", got.Engine.Pop, got.Islands.Migration.Interval)
+	}
+	if got := cells[2*2].Spec; got.Engine.Pop != 8 || got.Islands.Migration.Interval != 4 {
+		t.Errorf("cell 2: pop=%d interval=%d", got.Engine.Pop, got.Islands.Migration.Interval)
+	}
+	if got := cells[3*2].Spec; got.Engine.Pop != 12 || got.Islands.Migration.Interval != 1 {
+		t.Errorf("cell 3: pop=%d interval=%d", got.Engine.Pop, got.Islands.Migration.Interval)
+	}
+
+	// Seeds: cell 0 rep 0 keeps the base seed; all others derive and are
+	// pairwise distinct.
+	if cells[0].Spec.Seed != 11 {
+		t.Errorf("cell 0 rep 0 seed = %d, want base 11", cells[0].Spec.Seed)
+	}
+	seen := map[uint64]bool{}
+	for _, c := range cells {
+		if seen[c.Spec.Seed] {
+			t.Errorf("duplicate derived seed %d", c.Spec.Seed)
+		}
+		seen[c.Spec.Seed] = true
+	}
+	// Untouched base fields carry into every cell.
+	for _, c := range cells {
+		if c.Spec.Islands.Demes != 3 || c.Spec.Budget.Generations != 3 {
+			t.Errorf("cell %d lost base fields: %+v", c.Index, c.Spec)
+		}
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(42, 0, 0) != 42 {
+		t.Error("cell 0 replicate 0 must keep the base seed")
+	}
+	if DeriveSeed(42, 1, 0) == 42 || DeriveSeed(42, 0, 1) == 42 {
+		t.Error("derived seeds must differ from the base")
+	}
+	if DeriveSeed(42, 1, 0) == DeriveSeed(42, 0, 1) {
+		t.Error("cell and replicate must mix differently")
+	}
+	if DeriveSeed(42, 1, 0) != DeriveSeed(42, 1, 0) {
+		t.Error("derivation must be deterministic")
+	}
+}
+
+// TestSeedAxis checks sweeping the "seed" path pins each cell's seed to
+// the swept value (replicates still derive from it).
+func TestSeedAxis(t *testing.T) {
+	doc := `{
+	  "base": {"model":"generational","problem":{"name":"onemax","size":8},"engine":{"pop":6},"budget":{"generations":2},"seed":1},
+	  "sweep": {"seed": [100, 200]},
+	  "replicates": 2
+	}`
+	f, err := ParseFile([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, cerr := f.Sweep.Cells()
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	if cells[0].Spec.Seed != 100 || cells[2].Spec.Seed != 200 {
+		t.Errorf("replicate 0 seeds: %d, %d; want the swept values", cells[0].Spec.Seed, cells[2].Spec.Seed)
+	}
+	if cells[1].Spec.Seed != DeriveSeed(100, 0, 1) || cells[3].Spec.Seed != DeriveSeed(200, 0, 1) {
+		t.Errorf("replicate 1 seeds must derive from the swept value")
+	}
+}
+
+func TestRangeAxis(t *testing.T) {
+	doc := `{
+	  "base": {"model":"generational","problem":{"name":"onemax","size":8},"engine":{"pop":6},"budget":{"generations":2},"seed":1},
+	  "sweep": {"engine.pop": {"from": 4, "to": 10, "step": 2}}
+	}`
+	f, err := ParseFile([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pops []int
+	cells, _ := f.Sweep.Cells()
+	for _, c := range cells {
+		pops = append(pops, c.Spec.Engine.Pop)
+	}
+	want := []int{4, 6, 8, 10}
+	if len(pops) != len(want) {
+		t.Fatalf("pops %v, want %v", pops, want)
+	}
+	for i := range want {
+		if pops[i] != want[i] {
+			t.Fatalf("pops %v, want %v", pops, want)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		path string
+	}{
+		{"bad base", `{"base":{"model":"x","problem":{"name":"onemax","size":8}},"sweep":{"seed":[1]}}`, "base.model"},
+		{"unknown sweep path", `{"base":{"model":"generational","problem":{"name":"onemax","size":8}},"sweep":{"engine.popsize":[4]}}`, "sweep(cell 0).(document)"},
+		{"invalid cell", `{"base":{"model":"generational","problem":{"name":"onemax","size":8}},"sweep":{"engine.pop":[4,1]}}`, "sweep(cell 1).engine.pop"},
+		{"empty axis", `{"base":{"model":"generational","problem":{"name":"onemax","size":8}},"sweep":{"engine.pop":[]}}`, "sweep.engine.pop"},
+		{"bad range step", `{"base":{"model":"generational","problem":{"name":"onemax","size":8}},"sweep":{"engine.pop":{"from":2,"to":8,"step":0}}}`, "sweep.engine.pop.step"},
+		{"negative replicates", `{"base":{"model":"generational","problem":{"name":"onemax","size":8}},"sweep":{"seed":[1]},"replicates":-1}`, "replicates"},
+		{"unknown sweep key", `{"base":{"model":"generational","problem":{"name":"onemax","size":8}},"sweep":{"seed":[1]},"bogus":true}`, "(document)"},
+		{"path through scalar", `{"base":{"model":"generational","problem":{"name":"onemax","size":8},"seed":3},"sweep":{"seed.low":[1]}}`, "sweep.seed.low"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFile([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("ParseFile accepted %s", tc.doc)
+			}
+			if !hasPath(fieldPaths(t, err), tc.path) {
+				t.Errorf("error paths %v do not mention %q", fieldPaths(t, err), tc.path)
+			}
+		})
+	}
+}
+
+// TestSweepRunDeterminism runs a small two-axis sweep twice and requires
+// byte-identical marshalled reports — the property the results file
+// depends on.
+func TestSweepRunDeterminism(t *testing.T) {
+	doc := `{
+	  "base": {"model":"generational","problem":{"name":"onemax","size":12},"engine":{"pop":6},"budget":{"generations":2},"seed":5},
+	  "sweep": {"engine.pop": [6, 8]},
+	  "replicates": 2
+	}`
+	runOnce := func() string {
+		f, err := ParseFile([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, rerr := f.Sweep.Run(RunOpts{})
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if len(reports) != 4 {
+			t.Fatalf("got %d reports", len(reports))
+		}
+		out, merr := json.Marshal(reports)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		return string(out)
+	}
+	if first, second := runOnce(), runOnce(); first != second {
+		t.Errorf("sweep is not run-twice deterministic:\n%s\n%s", first, second)
+	}
+}
+
+// TestSweepCellMetadata checks reports carry their cell coordinates and
+// overrides.
+func TestSweepCellMetadata(t *testing.T) {
+	doc := `{
+	  "base": {"model":"generational","problem":{"name":"onemax","size":8},"engine":{"pop":6},"budget":{"generations":1},"seed":5},
+	  "sweep": {"engine.pop": [6, 8]}
+	}`
+	f, err := ParseFile([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, rerr := f.Sweep.Run(RunOpts{})
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if reports[1].Cell != 1 || reports[1].Replicate != 0 {
+		t.Errorf("report 1 coordinates: cell=%d rep=%d", reports[1].Cell, reports[1].Replicate)
+	}
+	if v, ok := reports[1].Overrides["engine.pop"]; !ok {
+		t.Errorf("report 1 overrides missing the axis: %v", reports[1].Overrides)
+	} else if n, ok := v.(json.Number); !ok || n.String() != "8" {
+		t.Errorf("override value = %#v, want json.Number 8", v)
+	}
+}

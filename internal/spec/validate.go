@@ -1,0 +1,579 @@
+package spec
+
+import (
+	"sort"
+
+	"pga/internal/operators"
+)
+
+// engineContext names where an EngineSpec is being validated, which
+// decides the set of meaningful fields.
+type engineContext int
+
+const (
+	ctxGenerational engineContext = iota
+	ctxSteadyState
+	ctxParallel
+	ctxCellular
+	ctxHGA
+)
+
+// Validate checks the spec semantically and returns every violation at
+// once as a structured *Error, or nil. It never panics: the point of
+// the layer is that ga.Config.validate's panics (and friends) are
+// unreachable from a validated spec.
+func (s *RunSpec) Validate() *Error {
+	e := &Error{}
+
+	if s.Version < 0 || s.Version > 1 {
+		e.add("version", "unsupported schema version %d (this library speaks version 1)", s.Version)
+	}
+	if s.Replicates < 0 {
+		e.add("replicates", "must not be negative")
+	}
+	if !validModel(s.Model) {
+		e.add("model", "unknown model %q (known: %v)", s.Model, Models())
+		return e // everything below depends on the model
+	}
+
+	// Exactly the matching model section may be present.
+	s.validateSections(e)
+
+	// Problem + genome class.
+	class := ""
+	if s.Model == ModelSIM {
+		if _, perr := s.simProblemInstance(); perr != nil {
+			e.Fields = append(e.Fields, perr.Fields...)
+		}
+	} else {
+		prob, perr := s.problemInstance()
+		if perr != nil {
+			e.Fields = append(e.Fields, perr.Fields...)
+		} else {
+			class = genomeClassOf(prob)
+			if s.Model == ModelHGA && !isRealBenchmark(prob) {
+				e.add("problem.name", "model %q needs a real-valued benchmark (sphere, rastrigin, ...)", ModelHGA)
+			}
+		}
+	}
+
+	s.validateEngine(e, class)
+	s.validateBudget(e)
+
+	switch s.Model {
+	case ModelIslands:
+		if s.Islands != nil {
+			s.Islands.validate(e)
+		}
+	case ModelP2P:
+		if s.P2P != nil {
+			s.P2P.validate(e)
+		}
+	case ModelHGA:
+		if s.HGA != nil {
+			s.HGA.validate(e)
+		}
+	case ModelSIM:
+		if s.SIM != nil {
+			s.SIM.validate(e)
+		}
+	}
+
+	return e.or()
+}
+
+func validModel(m string) bool {
+	for _, k := range Models() {
+		if m == k {
+			return true
+		}
+	}
+	return false
+}
+
+// validateSections rejects model sections that do not match the model.
+func (s *RunSpec) validateSections(e *Error) {
+	type section struct {
+		name  string
+		set   bool
+		model string
+	}
+	for _, sec := range []section{
+		{"islands", s.Islands != nil, ModelIslands},
+		{"farm", s.Farm != nil, ModelMasterSlave},
+		{"p2p", s.P2P != nil, ModelP2P},
+		{"hga", s.HGA != nil, ModelHGA},
+		{"sim", s.SIM != nil, ModelSIM},
+	} {
+		if sec.set && s.Model != sec.model {
+			e.add(sec.name, "section is only valid for model %q (spec has model %q)", sec.model, s.Model)
+		}
+	}
+	if s.Farm != nil && s.Farm.Workers < 0 {
+		e.add("farm.workers", "must not be negative")
+	}
+}
+
+// engineContextFor resolves which engine family the Engine section
+// configures under the given model (and deme type for islands/p2p).
+func (s *RunSpec) engineContextFor(e *Error) (engineContext, bool) {
+	demeType := s.Engine.Type
+	switch s.Model {
+	case ModelIslands, ModelP2P:
+		switch demeType {
+		case "", "generational":
+			return ctxGenerational, true
+		case "steadystate":
+			return ctxSteadyState, true
+		case "cellular":
+			return ctxCellular, true
+		default:
+			e.add("engine.type", "unknown deme engine %q (generational | steadystate | cellular)", demeType)
+			return 0, false
+		}
+	case ModelSIM:
+		if s.Engine != (EngineSpec{}) {
+			e.add("engine", "model %q runs fixed internal sub-EAs; configure sim.* instead", ModelSIM)
+		}
+		return 0, false
+	}
+	if demeType != "" {
+		e.add("engine.type", "only islands/p2p specs pick a deme engine; model %q implies the engine", s.Model)
+	}
+	switch s.Model {
+	case ModelSteadyState:
+		return ctxSteadyState, true
+	case ModelCellular:
+		return ctxCellular, true
+	case ModelParallel:
+		return ctxParallel, true
+	case ModelHGA:
+		return ctxHGA, true
+	default: // generational, masterslave
+		return ctxGenerational, true
+	}
+}
+
+// validateEngine checks the Engine section against the model's engine
+// family and the problem's genome class.
+func (s *RunSpec) validateEngine(e *Error, class string) {
+	ctx, ok := s.engineContextFor(e)
+	if !ok {
+		return
+	}
+	es := s.Engine
+
+	// Field applicability.
+	if ctx != ctxGenerational && ctx != ctxParallel {
+		if es.GenGap != 0 {
+			e.add("engine.gen_gap", "only generational engines take a generation gap")
+		}
+		if es.Elitism != 0 {
+			e.add("engine.elitism", "only generational engines take elitism")
+		}
+	}
+	if ctx != ctxSteadyState && es.Replace != "" {
+		e.add("engine.replace", "only steady-state engines take a replacement policy")
+	}
+	if ctx != ctxParallel && es.Workers != 0 {
+		e.add("engine.workers", "only model %q takes reproduction workers", ModelParallel)
+	}
+	if ctx != ctxCellular && es.Grid != nil {
+		e.add("engine.grid", "only cellular engines take a grid")
+	}
+	if ctx == ctxCellular {
+		if es.Pop != 0 {
+			e.add("engine.pop", "cellular engines size their population as grid rows*cols; set engine.grid")
+		}
+		if es.Selector != nil {
+			e.add("engine.selector", "cellular engines mate within the neighbourhood; no selector")
+		}
+		if es.Grid != nil {
+			es.Grid.validate(e)
+		}
+	}
+	if ctx == ctxHGA && es.CrossoverRate != 0 {
+		e.add("engine.crossover_rate", "hga demes use the engine default rate")
+	}
+
+	// Numeric ranges (mirroring what ga.Config.validate would panic on).
+	if es.Pop != 0 && es.Pop < 2 {
+		e.add("engine.pop", "population must hold at least 2 individuals")
+	}
+	if es.CrossoverRate < 0 || es.CrossoverRate > 1 {
+		e.add("engine.crossover_rate", "must be in [0,1]")
+	}
+	if es.GenGap < 0 || es.GenGap > 1 {
+		e.add("engine.gen_gap", "must be in [0,1]")
+	}
+	effPop := es.Pop
+	if effPop == 0 {
+		effPop = 100 // the engine default, for the elitism bound only
+	}
+	if es.Elitism < -1 {
+		e.add("engine.elitism", "must be -1 (disabled) or a non-negative elite count")
+	} else if es.Elitism >= effPop {
+		e.add("engine.elitism", "elite count %d must be below the population size %d", es.Elitism, effPop)
+	}
+	switch es.Replace {
+	case "", "worst", "random":
+	default:
+		e.add("engine.replace", "unknown policy %q (worst | random)", es.Replace)
+	}
+	if es.Workers < 0 {
+		e.add("engine.workers", "must not be negative")
+	}
+
+	// Operators.
+	validateOperator(e, "engine.selector", es.Selector, operators.KindSelector, class, false)
+	validateOperator(e, "engine.crossover", es.Crossover, operators.KindCrossover, class, true)
+	validateOperator(e, "engine.mutator", es.Mutator, operators.KindMutator, class, true)
+}
+
+// validateOperator checks one operator slot: known key, right kind,
+// documented params, compatible genome class. "none" is accepted for
+// the optional slots (crossover, mutator).
+func validateOperator(e *Error, path string, op *OperatorSpec, kind, class string, noneOK bool) {
+	if op == nil {
+		return
+	}
+	if op.Name == "none" {
+		if !noneOK {
+			e.add(path+".name", "%q cannot be disabled", kind)
+		}
+		if len(op.Params) > 0 {
+			e.add(path+".params", `"none" takes no parameters`)
+		}
+		return
+	}
+	entry, ok := operators.LookupSpec(op.Name)
+	if !ok {
+		e.add(path+".name", "unknown operator %q (known %ss: %v)", op.Name, kind, operators.SpecKeys(kind))
+		return
+	}
+	if entry.Kind != kind {
+		e.add(path+".name", "%q is a %s, not a %s", op.Name, entry.Kind, kind)
+		return
+	}
+	names := make([]string, 0, len(op.Params))
+	for name := range op.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !entry.Accepts(name) {
+			e.add(path+".params."+name, "operator %q does not take parameter %q", op.Name, name)
+		}
+	}
+	if class != "" && len(entry.Genomes) > 0 && !contains(entry.Genomes, class) {
+		e.add(path+".name", "operator %q works on %v genomes; the problem uses %q", op.Name, entry.Genomes, class)
+	}
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// validate checks a GridSpec.
+func (g *GridSpec) validate(e *Error) {
+	if g.Rows < 0 || g.Cols < 0 {
+		e.add("engine.grid", "rows and cols must not be negative")
+	}
+	rows, cols := g.Rows, g.Cols
+	if rows == 0 {
+		rows = 10
+	}
+	if cols == 0 {
+		cols = 10
+	}
+	if rows*cols < 2 {
+		e.add("engine.grid", "grid must hold at least 2 cells")
+	}
+	switch g.Update {
+	case "", "sync", "ls", "frs", "nrs", "uc":
+	default:
+		e.add("engine.grid.update", "unknown update policy %q (sync | ls | frs | nrs | uc)", g.Update)
+	}
+	switch g.Neighborhood {
+	case "", "l5", "c9", "l9":
+	default:
+		e.add("engine.grid.neighborhood", "unknown neighbourhood %q (l5 | c9 | l9)", g.Neighborhood)
+	}
+}
+
+// validate checks the island section.
+func (is *IslandSpec) validate(e *Error) {
+	if is.Demes < 0 {
+		e.add("islands.demes", "must not be negative")
+	}
+	demes := is.Demes
+	if demes == 0 {
+		demes = 8
+	}
+	is.Topology.validate(e, demes)
+	is.Migration.validate(e)
+	switch is.Mode {
+	case "", "sequential", "parallel":
+	default:
+		e.add("islands.mode", "unknown mode %q (sequential | parallel)", is.Mode)
+	}
+	if is.RewireEvery < 0 {
+		e.add("islands.rewire_every", "must not be negative")
+	}
+	if is.RewireEvery > 0 && is.Topology.Kind != "random" {
+		e.add("islands.rewire_every", "only the %q topology is dynamic", "random")
+	}
+	switch is.Resilience {
+	case "", "none", "default", "eager":
+	default:
+		e.add("islands.resilience", "unknown preset %q (none | default | eager)", is.Resilience)
+	}
+	supervised := is.Resilience != "" && is.Resilience != "none"
+	if supervised && is.Mode != "parallel" {
+		e.add("islands.resilience", "supervision runs in parallel mode; set islands.mode to %q", "parallel")
+	}
+	for i, f := range is.Faults {
+		f.validate(e, i, demes)
+	}
+	if len(is.Faults) > 0 && !supervised {
+		e.add("islands.faults", "fault injection needs a resilience preset (default | eager)")
+	}
+}
+
+// validate checks one fault coordinate.
+func (f FaultSpec) validate(e *Error, i, demes int) {
+	path := func(leaf string) string {
+		return "islands.faults[" + itoa(i) + "]." + leaf
+	}
+	switch f.Kind {
+	case "panic":
+		if f.HangMS != 0 {
+			e.add(path("hang_ms"), "only hang faults take a duration")
+		}
+	case "hang":
+		if f.Times != 0 {
+			e.add(path("times"), "only panic faults repeat")
+		}
+	default:
+		e.add(path("kind"), "unknown fault kind %q (panic | hang)", f.Kind)
+	}
+	if f.Deme < 0 || f.Deme >= demes {
+		e.add(path("deme"), "deme %d out of range [0,%d)", f.Deme, demes)
+	}
+	if f.Gen < 1 {
+		e.add(path("gen"), "generation must be at least 1")
+	}
+	if f.Times < 0 {
+		e.add(path("times"), "must not be negative")
+	}
+	if f.HangMS < 0 {
+		e.add(path("hang_ms"), "must not be negative")
+	}
+}
+
+// itoa is a tiny strconv.Itoa for error paths (avoids fmt in the hot
+// validation loop for no reason other than symmetry; clarity wins).
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}
+
+// validate checks a topology selection for a deme count.
+func (t *TopologySpec) validate(e *Error, demes int) {
+	switch t.Kind {
+	case "", "ring", "biring", "star", "complete", "isolated":
+		t.rejectShape(e)
+	case "hypercube":
+		t.rejectShape(e)
+		if demes&(demes-1) != 0 {
+			e.add("islands.topology.kind", "hypercube needs a power-of-two deme count (got %d)", demes)
+		}
+	case "grid", "torus":
+		if t.Degree != 0 || t.Seed != 0 {
+			e.add("islands.topology", "%q takes rows/cols, not degree/seed", t.Kind)
+		}
+		rows, cols := t.Rows, t.Cols
+		if rows < 1 || cols < 1 {
+			e.add("islands.topology", "%q needs explicit rows and cols", t.Kind)
+		} else if rows*cols != demes {
+			e.add("islands.topology", "rows*cols = %d must equal the deme count %d", rows*cols, demes)
+		}
+	case "random":
+		if t.Rows != 0 || t.Cols != 0 {
+			e.add("islands.topology", "%q takes degree/seed, not rows/cols", t.Kind)
+		}
+		deg := t.Degree
+		if deg == 0 {
+			deg = 3
+		}
+		if deg < 1 || deg >= demes {
+			e.add("islands.topology.degree", "degree %d out of range [1,%d)", deg, demes)
+		} else if deg*demes%2 != 0 {
+			e.add("islands.topology.degree", "degree %d with %d demes has no regular graph (odd handshake sum)", deg, demes)
+		}
+	default:
+		e.add("islands.topology.kind", "unknown topology %q (ring | biring | star | complete | hypercube | isolated | grid | torus | random)", t.Kind)
+	}
+}
+
+// rejectShape flags shape parameters on shapeless topology kinds.
+func (t *TopologySpec) rejectShape(e *Error) {
+	if t.Rows != 0 || t.Cols != 0 || t.Degree != 0 || t.Seed != 0 {
+		kind := t.Kind
+		if kind == "" {
+			kind = "ring"
+		}
+		e.add("islands.topology", "%q takes no shape parameters", kind)
+	}
+}
+
+// validate checks the migration policy.
+func (m *MigrationSpec) validate(e *Error) {
+	if m.Interval < 0 {
+		e.add("islands.migration.interval", "must not be negative")
+	}
+	if m.Count < 0 {
+		e.add("islands.migration.count", "must not be negative")
+	}
+	if m.Buffer < 0 {
+		e.add("islands.migration.buffer", "must not be negative")
+	}
+	switch m.Select {
+	case "", "best", "random", "tournament":
+	default:
+		e.add("islands.migration.select", "unknown policy %q (best | random | tournament)", m.Select)
+	}
+	switch m.Replace {
+	case "", "worst", "worst-if-better", "random":
+	default:
+		e.add("islands.migration.replace", "unknown policy %q (worst | worst-if-better | random)", m.Replace)
+	}
+}
+
+// validate checks the p2p section.
+func (p *P2PSpec) validate(e *Error) {
+	if p.Peers < 0 {
+		e.add("p2p.peers", "must not be negative")
+	}
+	if p.Peers == 1 {
+		e.add("p2p.peers", "an overlay needs at least 2 peers")
+	}
+	if p.ViewSize < 0 {
+		e.add("p2p.view", "must not be negative")
+	}
+	if p.GossipEvery < 0 {
+		e.add("p2p.gossip_every", "must not be negative")
+	}
+	if p.Churn < 0 || p.Churn > 1 {
+		e.add("p2p.churn", "must be a probability in [0,1]")
+	}
+	if p.Rejoin < 0 || p.Rejoin > 1 {
+		e.add("p2p.rejoin", "must be a probability in [0,1]")
+	}
+	if p.MinPeers < 0 {
+		e.add("p2p.min_peers", "must not be negative")
+	}
+}
+
+// validate checks the hga section.
+func (h *HGASpec) validate(e *Error) {
+	for i, n := range h.Layers {
+		if n < 1 {
+			e.add("hga.layers["+itoa(i)+"]", "layer must hold at least 1 deme")
+		}
+	}
+	if h.Levels != nil && len(h.Levels) != len(h.Layers) {
+		e.add("hga.levels", "must have one entry per layer (%d layers, %d levels)", len(h.Layers), len(h.Levels))
+	}
+	for i, l := range h.Levels {
+		if l < 0 {
+			e.add("hga.levels["+itoa(i)+"]", "fidelity level must not be negative")
+		}
+	}
+	if h.Interval < 0 {
+		e.add("hga.interval", "must not be negative")
+	}
+}
+
+// validate checks the sim section.
+func (ss *SIMSpec) validate(e *Error) {
+	if ss.Scenario < 0 || ss.Scenario > 7 {
+		e.add("sim.scenario", "scenario %d out of range 1..7", ss.Scenario)
+	}
+	if ss.DemeSize < 0 {
+		e.add("sim.deme_size", "must not be negative")
+	}
+	if ss.Interval < 0 {
+		e.add("sim.interval", "must not be negative")
+	}
+	if ss.ArchiveCap < 0 {
+		e.add("sim.archive_cap", "must not be negative")
+	}
+	if len(ss.HVRef) != 0 && len(ss.HVRef) != 2 {
+		e.add("sim.hv_ref", "reference point is [f1, f2]")
+	}
+}
+
+// validateBudget checks the stop-condition section against the model.
+func (s *RunSpec) validateBudget(e *Error) {
+	b := s.Budget
+	if b.Generations < 0 {
+		e.add("budget.generations", "must not be negative")
+	}
+	if b.Evaluations < 0 {
+		e.add("budget.evaluations", "must not be negative")
+	}
+	if b.Stagnation < 0 {
+		e.add("budget.stagnation", "must not be negative")
+	}
+	if b.Cost < 0 {
+		e.add("budget.cost", "must not be negative")
+	}
+	if b.Cost != 0 && s.Model != ModelHGA {
+		e.add("budget.cost", "only model %q runs on a cost budget", ModelHGA)
+	}
+	switch s.Model {
+	case ModelHGA:
+		if b.Generations != 0 || b.Evaluations != 0 || b.Target != nil || b.TargetOptimum || b.Stagnation != 0 {
+			e.add("budget", "model %q runs on a cost budget; set budget.cost only", ModelHGA)
+		}
+	case ModelP2P, ModelSIM:
+		if b.Evaluations != 0 || b.Target != nil || b.TargetOptimum || b.Stagnation != 0 {
+			e.add("budget", "model %q supports only budget.generations", s.Model)
+		}
+	default:
+		if b.TargetOptimum {
+			if prob, perr := s.problemInstance(); perr == nil && !isTargetAware(prob) {
+				e.add("budget.target_optimum", "problem %q has no known optimum", s.Problem.Name)
+			}
+		}
+	}
+	// Parallel-mode islands run on a plain generation cap.
+	if s.Model == ModelIslands && s.Islands != nil && s.Islands.Mode == "parallel" {
+		if b.Evaluations != 0 || b.Target != nil || b.TargetOptimum || b.Stagnation != 0 {
+			e.add("budget", "parallel-mode islands support only budget.generations")
+		}
+	}
+}

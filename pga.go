@@ -68,6 +68,7 @@ import (
 	"pga/internal/problems"
 	"pga/internal/rng"
 	"pga/internal/sim"
+	"pga/internal/spec"
 	"pga/internal/supervise"
 	"pga/internal/topology"
 )
@@ -544,6 +545,85 @@ func CaptureCheckpoint(pop *Population, r *RNG, generation int, evaluations int6
 func LoadCheckpoint(data []byte) (*Checkpoint, error) {
 	return persist.UnmarshalCheckpoint(data)
 }
+
+// Declarative run specifications (see internal/spec and DESIGN.md §11).
+// One serializable Spec names a problem, an engine, a model and a budget;
+// BuildSpec materialises it into any of the runtimes above, draw-identical
+// to the equivalent hand-wired construction.
+type (
+	// Spec is the declarative run specification: problem, genome and
+	// operator choices, model and its parameters, resilience plan, budget
+	// and seed — everything a run needs, as one JSON-serialisable value.
+	Spec = spec.RunSpec
+	// BuiltSpec is a validated Spec materialised into a runtime; its Run
+	// method drives whichever model the spec selected and renders a
+	// deterministic report.
+	BuiltSpec = spec.Built
+	// SpecReport is the deterministic run summary a built spec produces
+	// (no timing fields, so run-twice output is byte-identical).
+	SpecReport = spec.Report
+	// SpecRunOpts tunes BuiltSpec.Run (per-generation callback, trace).
+	SpecRunOpts = spec.RunOpts
+	// SpecFile is one parsed config document: a single run or a sweep.
+	SpecFile = spec.File
+	// SpecSweep expands a base spec over axes into a deterministic run
+	// matrix with per-cell derived seeds.
+	SpecSweep = spec.Sweep
+	// SpecError is the structured validation error a malformed spec
+	// yields: one FieldError per offending field.
+	SpecError = spec.Error
+	// SpecFieldError locates one validation failure (field path + reason).
+	SpecFieldError = spec.FieldError
+)
+
+// Spec sections, for assembling specs programmatically rather than from
+// JSON.
+type (
+	// SpecProblem names a registry problem and its size.
+	SpecProblem = spec.ProblemSpec
+	// SpecEngine selects population shape and operators.
+	SpecEngine = spec.EngineSpec
+	// SpecOperator names one registry operator with its parameters.
+	SpecOperator = spec.OperatorSpec
+	// SpecGrid is the cellular grid shape.
+	SpecGrid = spec.GridSpec
+	// SpecIslands is the island-model section.
+	SpecIslands = spec.IslandSpec
+	// SpecTopology names an island topology.
+	SpecTopology = spec.TopologySpec
+	// SpecMigration is the migration policy section.
+	SpecMigration = spec.MigrationSpec
+	// SpecFault scripts one injected fault of a supervised island run.
+	SpecFault = spec.FaultSpec
+	// SpecFarm is the master–slave section.
+	SpecFarm = spec.FarmSpec
+	// SpecP2P is the gossip-overlay section.
+	SpecP2P = spec.P2PSpec
+	// SpecHGA is the hierarchical-model section.
+	SpecHGA = spec.HGASpec
+	// SpecSIM is the multi-objective SIM section.
+	SpecSIM = spec.SIMSpec
+	// SpecBudget is the stop-condition section.
+	SpecBudget = spec.BudgetSpec
+)
+
+// ParseSpec strictly parses and validates one JSON run spec, returning
+// structured field errors on malformed input (it never panics).
+func ParseSpec(data []byte) (*Spec, error) { return spec.Parse(data) }
+
+// ParseSpecFile parses a config document that is either a single run
+// spec or a sweep ({"base": ..., "sweep": {...}, "replicates": N}).
+func ParseSpecFile(data []byte) (*SpecFile, error) { return spec.ParseFile(data) }
+
+// BuildSpec validates s and constructs its runtime.
+func BuildSpec(s Spec) (*BuiltSpec, error) { return spec.Build(s) }
+
+// SpecModels lists the model vocabulary a Spec accepts.
+func SpecModels() []string { return spec.Models() }
+
+// DeriveSpecSeed derives the run seed of sweep cell `cell`, replicate
+// `rep`, from a base seed (cell 0 replicate 0 keeps the base verbatim).
+func DeriveSpecSeed(base uint64, cell, rep int) uint64 { return spec.DeriveSeed(base, cell, rep) }
 
 // Peer-to-peer overlay (DREAM-style; see internal/p2p).
 type (
